@@ -1,0 +1,22 @@
+"""Ablation bench: contribution of each repo-specific PriSM mechanism."""
+
+from conftest import INSTRUCTIONS, mixes_subset
+
+from repro.experiments import ablation
+from repro.workloads.mixes import mixes_for_cores
+
+
+def test_ablation_design_choices(benchmark, report):
+    mixes = mixes_subset(mixes_for_cores(16), limit=3)
+    result = benchmark.pedantic(
+        lambda: ablation.run(instructions=INSTRUCTIONS[16], mixes=mixes),
+        rounds=1,
+        iterations=1,
+    )
+    report(ablation.format_result(result))
+    g = result["geomean"]
+    # Every variant still runs correctly and beats or ties LRU broadly.
+    for variant, value in g.items():
+        assert 0.5 < value < 1.15, (variant, value)
+    # The default configuration is the strongest (or tied within noise).
+    assert g["default"] <= min(g.values()) + 0.04

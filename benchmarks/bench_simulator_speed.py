@@ -1,0 +1,68 @@
+"""Simulator micro-benchmarks: accesses/second of the hot path.
+
+Unlike the figure benches (minutes-long experiments, one round), these are
+true pytest-benchmark microbenchmarks with multiple rounds: they track the
+cost of the cache access path under each scheme class so performance
+regressions in the substrate are visible.
+"""
+
+from repro.cache.cache import SharedCache
+from repro.cache.geometry import CacheGeometry
+from repro.cache.replacement import TimestampLRUPolicy
+from repro.core import HitMaxPolicy, PrismScheme
+from repro.partitioning import UCPScheme, VantageScheme
+from repro.util.rng import make_rng
+
+GEOMETRY = CacheGeometry(64 << 10, 64, 16)
+ACCESSES = 20_000
+
+
+def _stream(seed=1):
+    rng = make_rng(seed, "speed")
+    return [(rng.randrange(4), rng.randrange(3000)) for _ in range(ACCESSES)]
+
+
+def _drive(cache, stream):
+    access = cache.access
+    for core, addr in stream:
+        access(core, (core << 20) + addr)
+    return cache.stats.total_misses()
+
+
+def test_speed_unmanaged_lru(benchmark):
+    stream = _stream()
+    result = benchmark(lambda: _drive(SharedCache(GEOMETRY, 4), stream))
+    assert result > 0
+
+
+def test_speed_prism(benchmark):
+    stream = _stream()
+
+    def run():
+        cache = SharedCache(GEOMETRY, 4)
+        cache.set_scheme(PrismScheme(HitMaxPolicy(), sample_shift=1))
+        return _drive(cache, stream)
+
+    assert benchmark(run) > 0
+
+
+def test_speed_ucp(benchmark):
+    stream = _stream()
+
+    def run():
+        cache = SharedCache(GEOMETRY, 4)
+        cache.set_scheme(UCPScheme(sample_shift=1))
+        return _drive(cache, stream)
+
+    assert benchmark(run) > 0
+
+
+def test_speed_vantage(benchmark):
+    stream = _stream()
+
+    def run():
+        cache = SharedCache(GEOMETRY, 4, policy=TimestampLRUPolicy())
+        cache.set_scheme(VantageScheme(sample_shift=1))
+        return _drive(cache, stream)
+
+    assert benchmark(run) > 0

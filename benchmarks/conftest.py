@@ -1,0 +1,49 @@
+"""Shared configuration for the paper-reproduction benchmarks.
+
+Each ``bench_*.py`` file regenerates one table/figure of the paper at a
+reduced-but-meaningful scale and prints the same rows the paper reports.
+The pytest-benchmark timing wraps the *whole experiment* (single round —
+these are minutes-long simulations, not microbenchmarks).
+
+Scale knobs (environment variables):
+
+- ``REPRO_BENCH_SCALE`` — multiply every instruction budget (default 1.0;
+  set 4-10 for publication-quality runs).
+- ``REPRO_BENCH_MIXES`` — mixes per core count (default 4; 0 = all).
+"""
+
+import os
+
+import pytest
+
+_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+MIXES_PER_COUNT = int(os.environ.get("REPRO_BENCH_MIXES", "4")) or None
+
+#: Per-core instruction budgets by core count, shared across benches so the
+#: runner's stand-alone IPC cache is reused between figures.
+INSTRUCTIONS = {
+    4: int(250_000 * _SCALE),
+    8: int(150_000 * _SCALE),
+    16: int(250_000 * _SCALE),
+    32: int(100_000 * _SCALE),
+}
+
+
+def mixes_subset(names, limit=None):
+    """First ``limit`` (or REPRO_BENCH_MIXES) names of a mix list."""
+    limit = limit if limit is not None else MIXES_PER_COUNT
+    return names[:limit] if limit else list(names)
+
+
+@pytest.fixture
+def report():
+    """Print a figure's formatted rows after the benchmarked run."""
+    outputs = []
+
+    def _report(text: str) -> None:
+        outputs.append(text)
+
+    yield _report
+    for text in outputs:
+        print()
+        print(text)

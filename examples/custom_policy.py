@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Extending PriSM: a custom allocation policy and a custom baseline.
+
+The paper's framework cleanly separates the *allocation policy* (what
+occupancy each core deserves) from the *enforcement mechanism* (eviction
+probabilities). This example demonstrates both extension points:
+
+1. ``PriorityPolicy`` — a user-defined allocation policy giving explicit
+   static shares (e.g. a latency-critical core gets 50% of the LLC),
+   plugged into :class:`repro.core.PrismScheme` unchanged.
+2. Running PriSM over the SRRIP replacement policy — a policy the paper
+   never evaluated — to show the core-selection step really is
+   replacement-agnostic.
+
+Usage::
+
+    python examples/custom_policy.py [--instructions N]
+"""
+
+import argparse
+from typing import List
+
+from repro.cache import SharedCache
+from repro.cache.replacement import SRRIPPolicy
+from repro.core import PrismScheme
+from repro.core.allocation import AllocationContext, AllocationPolicy
+from repro.cpu import MultiCoreSystem
+from repro.cpu.memory import MemoryModel
+from repro.experiments.configs import machine
+from repro.workloads import get_profile
+
+
+class PriorityPolicy(AllocationPolicy):
+    """Static occupancy shares — the simplest possible allocation policy."""
+
+    name = "priority"
+
+    def __init__(self, shares: List[float]) -> None:
+        total = sum(shares)
+        if total <= 0:
+            raise ValueError("shares must sum to a positive value")
+        self.shares = [s / total for s in shares]
+
+    def compute_targets(self, ctx: AllocationContext) -> List[float]:
+        if len(self.shares) != ctx.num_cores:
+            raise ValueError(
+                f"{len(self.shares)} shares for {ctx.num_cores} cores"
+            )
+        return list(self.shares)
+
+
+def run_once(policy, replacement, profiles, config, instructions: int):
+    cache = SharedCache(config.geometry, len(profiles), policy=replacement)
+    cache.set_scheme(PrismScheme(policy))
+    system = MultiCoreSystem(
+        cache, profiles, seed=42,
+        memory=MemoryModel(num_controllers=config.num_controllers),
+    )
+    return system.run(instructions), cache
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--instructions", type=int, default=500_000)
+    args = parser.parse_args()
+
+    config = machine(4)
+    names = ["179.art", "471.omnetpp", "470.lbm", "416.gamess"]
+    profiles = [get_profile(n) for n in names]
+    # Give the first core half the cache, split the rest evenly.
+    shares = [0.5, 0.167, 0.167, 0.166]
+
+    print("PriSM with a custom static-priority allocation over SRRIP replacement")
+    print(f"machine: {config}")
+    print(f"target shares: {[round(s, 3) for s in shares]}\n")
+
+    result, cache = run_once(
+        PriorityPolicy(shares), SRRIPPolicy(), profiles, config, args.instructions
+    )
+    occupancy = cache.occupancy_fractions()
+
+    print(f"{'benchmark':>16} {'target':>8} {'achieved':>9} {'IPC':>8}")
+    for core, name in enumerate(names):
+        print(
+            f"{name:>16} {shares[core]:>8.3f} {occupancy[core]:>9.3f} "
+            f"{result.cores[core].ipc:>8.3f}"
+        )
+    errors = [abs(occupancy[c] - shares[c]) for c in range(4)]
+    print(f"\nmax |achieved - target| = {max(errors):.3f}")
+    print("(occupancy can only grow through insertions: a core whose working "
+          "set is\n smaller than its share — e.g. 416.gamess — tops out at its "
+          "footprint, and the\n slack flows to the heaviest inserters; the "
+          "priority core still gets its half)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Fairness and QoS: the other two faces of the PriSM framework.
+
+Part 1 — fairness: runs a sixteen-core mix under LRU, the way-partitioning
+fairness scheme [9] and PriSM-F, printing each program's slowdown and the
+fairness metric (min/max slowdown ratio). PriSM-F should compress the
+slowdown spread without losing throughput.
+
+Part 2 — QoS: re-runs the same mix under PriSM-Q with core 0 guaranteed
+80% of its stand-alone IPC, and shows the achieved slowdown and how much
+cache the QoS core ended up holding.
+
+Usage::
+
+    python examples/fairness_and_qos.py [--mix S3] [--instructions N]
+"""
+
+import argparse
+
+from repro import machine, run_workload
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--mix", default="S3", help="sixteen-core mix name")
+    parser.add_argument("--instructions", type=int, default=600_000,
+                        help="per-core target; QoS convergence needs room")
+    parser.add_argument("--qos-target", type=float, default=0.8,
+                        help="QoS target as a fraction of stand-alone IPC")
+    args = parser.parse_args()
+
+    config = machine(16)
+    print(f"machine: {config}")
+    print(f"mix:     {args.mix}\n")
+
+    runs = {
+        name: run_workload(args.mix, config, name, instructions=args.instructions)
+        for name in ("lru", "fair-waypart", "prism-f")
+    }
+
+    print("--- fairness ---")
+    header = f"{'benchmark':>16}" + "".join(f"{name:>14}" for name in runs)
+    print(header + "   (slowdown = IPC shared / IPC alone)")
+    benchmarks = runs["lru"].benchmarks
+    for core, name in enumerate(benchmarks):
+        cells = "".join(f"{r.slowdown(core):>14.3f}" for r in runs.values())
+        print(f"{name:>16}{cells}")
+    print(f"{'fairness':>16}" + "".join(f"{r.fairness:>14.3f}" for r in runs.values()))
+    print(f"{'ANTT':>16}" + "".join(f"{r.antt:>14.3f}" for r in runs.values()))
+    print()
+
+    print(f"--- QoS: hold core 0 ({benchmarks[0]}) at "
+          f"{args.qos_target:.0%} of stand-alone IPC ---")
+    qos = run_workload(
+        args.mix,
+        config,
+        "prism-q",
+        instructions=args.instructions,
+        scheme_kwargs={"target_ipc_fraction": args.qos_target},
+    )
+    achieved = qos.slowdown(0)
+    occupancy = qos.cores[0].occupancy_at_finish
+    print(f"achieved slowdown: {achieved:.3f}  (target {args.qos_target:.2f})")
+    print(f"core 0 cache share at finish: {occupancy:.1%}")
+    if achieved >= args.qos_target * 0.95:
+        verdict = "met"
+    elif achieved >= args.qos_target * 0.75:
+        verdict = "approached (bandwidth contention caps the last stretch; see EXPERIMENTS.md fig10)"
+    else:
+        verdict = "MISSED"
+    print(f"QoS target {verdict}; other cores ran hit-max in the remaining space")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Hit-maximisation study: PriSM-H against UCP, PIPP and way-partitioning.
+
+Reproduces the paper's central comparison on a configurable slice of the
+workload suite: for each mix, ANTT under LRU / UCP / PIPP / PriSM-H / the
+same hit-max policy rounded to way quotas, plus the geomean summary. This
+is the scenario the paper's introduction motivates — existing schemes
+degrade as cores grow; fine-grained probabilistic partitioning does not.
+
+Usage::
+
+    python examples/hitmax_study.py --cores 4 --mixes 6 [--instructions N]
+"""
+
+import argparse
+import time
+
+from repro.experiments.common import compare_schemes, format_table, geomean_ratio
+from repro.experiments.configs import machine
+from repro.workloads.mixes import mixes_for_cores
+
+SCHEMES = ["lru", "ucp", "pipp", "waypart-hitmax", "prism-h"]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cores", type=int, default=4, choices=[4, 8, 16, 32])
+    parser.add_argument("--mixes", type=int, default=6, help="how many mixes to run")
+    parser.add_argument("--instructions", type=int, default=600_000)
+    args = parser.parse_args()
+
+    config = machine(args.cores)
+    mixes = mixes_for_cores(args.cores)[: args.mixes]
+    print(f"machine: {config}")
+    print(f"mixes:   {', '.join(mixes)}")
+    start = time.time()
+    results = compare_schemes(
+        mixes,
+        config,
+        SCHEMES,
+        instructions=args.instructions,
+        progress=lambda msg: print(f"  running {msg}", flush=True),
+    )
+    print(f"({time.time() - start:.0f}s)\n")
+
+    rows = []
+    for mix in mixes:
+        lru_antt = results[mix]["lru"].antt
+        rows.append(
+            [mix]
+            + [results[mix][s].antt / lru_antt for s in SCHEMES[1:]]
+        )
+    rows.append(
+        ["geomean"] + [geomean_ratio(results, s, "lru") for s in SCHEMES[1:]]
+    )
+    print("ANTT normalised to LRU (lower is better):")
+    print(format_table(["mix", "UCP", "PIPP", "WP+Alg1", "PriSM-H"], rows))
+    print()
+    gain = (1.0 - geomean_ratio(results, "prism-h", "lru")) * 100.0
+    print(f"PriSM-H geomean gain over LRU at {args.cores} cores: {gain:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

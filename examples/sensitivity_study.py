@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Sensitivity study: how PriSM-H's gain depends on its knobs.
+
+Sweeps the three knobs the paper's Section 5.6 analyses — interval length
+(Fig. 13), probability bit-width (Fig. 12) — plus two this repo adds:
+cache scale (how the scaled-down substrate behaves as it approaches paper
+size) and shadow-tag sampling density. Each sweep reports PriSM-H's ANTT
+versus LRU on one quad mix.
+
+Usage::
+
+    python examples/sensitivity_study.py [--mix Q7] [--instructions N]
+"""
+
+import argparse
+
+from repro.experiments.configs import machine
+from repro.experiments.runner import clear_standalone_cache, run_workload
+
+
+def ratio(mix, config, instructions, **scheme_kwargs):
+    lru = run_workload(mix, config, "lru", instructions=instructions)
+    prism = run_workload(
+        mix, config, "prism-h", instructions=instructions,
+        scheme_kwargs=scheme_kwargs or None,
+    )
+    return prism.antt / lru.antt
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--mix", default="Q7")
+    parser.add_argument("--instructions", type=int, default=400_000)
+    args = parser.parse_args()
+
+    config = machine(4)
+    n = config.geometry.num_blocks
+    print(f"mix {args.mix} on {config}; values are PriSM-H ANTT / LRU ANTT "
+          "(lower = better)\n")
+
+    print("interval length W (paper default W = N):")
+    for mult in (0.25, 0.5, 1.0, 2.0, 4.0):
+        r = ratio(args.mix, config, args.instructions,
+                  interval_len=max(1, int(n * mult)))
+        print(f"  W = {mult:>4}*N : {r:.4f}")
+
+    print("\nprobability bit-width (float reference first):")
+    r_float = ratio(args.mix, config, args.instructions)
+    print(f"  float    : {r_float:.4f}")
+    for bits in (4, 6, 8, 12):
+        r = ratio(args.mix, config, args.instructions, probability_bits=bits)
+        print(f"  {bits:>2} bits  : {r:.4f}")
+
+    print("\nshadow-tag sampling (1/2**shift of sets):")
+    for shift in (0, 1, 2, 3):
+        r = ratio(args.mix, config, args.instructions, sample_shift=shift)
+        print(f"  1/{1 << shift:<3}    : {r:.4f}")
+
+    print("\ncache scale (scale_factor: capacity = paper / factor):")
+    for factor in (128, 64, 32):
+        clear_standalone_cache()  # different geometry, fresh baselines
+        scaled = machine(4, scale_factor=factor)
+        r = ratio(args.mix, scaled, args.instructions)
+        print(f"  1/{factor:<4}   ({scaled.geometry}): {r:.4f}")
+
+    print("\nInterpretation: gains are insensitive to the probability "
+          "bit-width (Fig. 12)\nand to sampling density; long intervals "
+          "(W >= 2N) trade adaptation speed for\nstability, so they need "
+          "proportionally longer runs to converge (Fig. 13's\nsweep); "
+          "bigger caches likewise need more instructions to warm and "
+          "converge —\nraise --instructions when sweeping scale.")
+
+
+if __name__ == "__main__":
+    main()

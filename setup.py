@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The execution environment has no ``wheel`` package (and no network), so
+PEP-660 editable installs fail; this shim keeps ``pip install -e .``
+working through the legacy ``setup.py develop`` path. All metadata lives
+in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

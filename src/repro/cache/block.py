@@ -1,0 +1,53 @@
+"""A single cache block (line) and its per-policy metadata."""
+
+from __future__ import annotations
+
+__all__ = ["CacheBlock"]
+
+
+class CacheBlock:
+    """One cache line.
+
+    Blocks are mutable and pooled inside their :class:`~repro.cache.cacheset.CacheSet`;
+    a block is reused across fills rather than reallocated.
+
+    Attributes:
+        tag: address tag; meaningful only while ``valid``.
+        core: id of the core (program) that brought the block in. All
+            partitioning schemes in this repo, like the paper, attribute a
+            block to the core that inserted it.
+        valid: whether the block holds data.
+        timestamp: coarse timestamp used by timestamp-LRU / Vantage.
+        rrpv: re-reference prediction value used by SRRIP.
+        managed: Vantage region flag (``True`` = managed region).
+    """
+
+    __slots__ = ("tag", "core", "valid", "timestamp", "rrpv", "managed")
+
+    def __init__(self) -> None:
+        self.tag = -1
+        self.core = -1
+        self.valid = False
+        self.timestamp = 0
+        self.rrpv = 0
+        self.managed = True
+
+    def fill(self, tag: int, core: int) -> None:
+        """(Re)fill this block for ``core`` with ``tag``."""
+        self.tag = tag
+        self.core = core
+        self.valid = True
+        self.timestamp = 0
+        self.rrpv = 0
+        self.managed = True
+
+    def invalidate(self) -> None:
+        """Mark the block empty."""
+        self.tag = -1
+        self.core = -1
+        self.valid = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if not self.valid:
+            return "<block invalid>"
+        return f"<block tag={self.tag:#x} core={self.core}>"

@@ -1,0 +1,197 @@
+"""The shared last-level cache.
+
+:class:`SharedCache` owns the sets, the per-core occupancy counters the
+PriSM analytical model reads (``C_i``), the statistics, and the interval
+machinery: the allocation policies in this repo recompute their targets
+every ``W`` misses, where ``W`` is chosen by the attached management
+scheme (the paper's default is ``W = N``, one interval per cache's worth
+of misses).
+
+Division of labour on a miss:
+
+- the **scheme** (:mod:`repro.partitioning` / :mod:`repro.core`) picks the
+  victim block and the insertion position — this is where way-partitioning
+  quotas, PIPP's insertion points or PriSM's core-selection live;
+- the **replacement policy** (:mod:`repro.cache.replacement`) supplies the
+  baseline eviction-preference order and promotion behaviour the scheme
+  builds on.
+
+A cache with no scheme attached behaves exactly like an unmanaged cache
+under its baseline policy.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional, Sequence
+
+from repro.cache.cacheset import CacheSet
+from repro.cache.geometry import CacheGeometry
+from repro.cache.replacement.base import ReplacementPolicy
+from repro.cache.replacement.lru import LRUPolicy
+from repro.cache.stats import CacheStats
+
+__all__ = ["AccessResult", "SharedCache"]
+
+
+class AccessResult(NamedTuple):
+    """Outcome of one cache access."""
+
+    hit: bool
+    set_index: int
+    evicted_core: int  # -1 when nothing was evicted
+    evicted_addr: int = -1  # block address of the victim (-1 if none)
+
+
+class SharedCache:
+    """A set-associative cache shared by ``num_cores`` cores.
+
+    Args:
+        geometry: size/associativity description.
+        num_cores: number of sharing cores (block owners).
+        policy: baseline replacement policy; defaults to true LRU.
+        scheme: management scheme; ``None`` means unmanaged.
+
+    Attributes:
+        occupancy: per-core count of blocks currently resident.
+        stats: hit/miss/eviction counters.
+        monitors: observers probed on every access (shadow tags, tracers).
+    """
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        num_cores: int,
+        policy: Optional[ReplacementPolicy] = None,
+        scheme=None,
+    ) -> None:
+        if num_cores < 1:
+            raise ValueError(f"num_cores must be >= 1, got {num_cores}")
+        self.geometry = geometry
+        self.num_cores = num_cores
+        # Hot-path copies of the geometry arithmetic (num_sets is a derived
+        # property; the access loop runs millions of times).
+        self._set_mask = geometry.num_sets - 1
+        self._tag_shift = self._set_mask.bit_length()
+        self.policy = policy if policy is not None else LRUPolicy()
+        self.sets: List[CacheSet] = [
+            CacheSet(i, geometry.assoc) for i in range(geometry.num_sets)
+        ]
+        self.occupancy: List[int] = [0] * num_cores
+        self.stats = CacheStats(num_cores)
+        self.monitors: list = []
+        self.scheme = None
+        self.interval_miss_count = 0
+        self.intervals_completed = 0
+        self.policy.bind(self)
+        if scheme is not None:
+            self.set_scheme(scheme)
+
+    # -- wiring ------------------------------------------------------------
+
+    def set_scheme(self, scheme) -> None:
+        """Attach a management scheme (calls ``scheme.attach(self)``)."""
+        self.scheme = scheme
+        scheme.attach(self)
+
+    def add_monitor(self, monitor) -> None:
+        """Register an access observer with an ``observe(core, set, tag, hit)`` method."""
+        self.monitors.append(monitor)
+
+    # -- derived state -------------------------------------------------------
+
+    def occupancy_fractions(self) -> List[float]:
+        """``C_i``: fraction of all cache blocks owned by each core."""
+        n = self.geometry.num_blocks
+        return [occ / n for occ in self.occupancy]
+
+    def valid_blocks(self) -> int:
+        """Total valid blocks (equals ``sum(occupancy)``)."""
+        return sum(self.occupancy)
+
+    # -- the access path -------------------------------------------------------
+
+    def access(self, core: int, block_addr: int) -> AccessResult:
+        """Simulate one access by ``core`` to ``block_addr``.
+
+        Returns:
+            An :class:`AccessResult`; ``evicted_core`` identifies whose block
+            was displaced (or -1 for a fill into an empty way / a hit).
+        """
+        set_index = block_addr & self._set_mask
+        tag = block_addr >> self._tag_shift
+        cset = self.sets[set_index]
+        policy = self.policy
+        scheme = self.scheme
+
+        policy.notify_access(cset)
+        block = cset.lookup(tag)
+        hit = block is not None
+        for monitor in self.monitors:
+            monitor.observe(core, set_index, tag, hit)
+
+        if hit:
+            self.stats.record_hit(core)
+            if scheme is not None:
+                scheme.on_hit(cset, block, core)
+            else:
+                policy.on_hit(cset, block, core)
+            return AccessResult(True, set_index, -1)
+
+        self.stats.record_miss(core)
+        policy.record_miss(cset, core)
+
+        evicted_core = -1
+        evicted_addr = -1
+        if cset.full:
+            if scheme is not None:
+                victim = scheme.select_victim(cset, core)
+            else:
+                victim = policy.victim(cset)
+            evicted_core = victim.core
+            evicted_addr = (victim.tag << self._tag_shift) | set_index
+            self.occupancy[evicted_core] -= 1
+            self.stats.record_eviction(evicted_core)
+            cset.evict(victim)
+
+        if scheme is not None:
+            position = scheme.insertion_position(cset, core)
+        else:
+            position = policy.insertion_position(cset, core)
+        new_block = cset.fill(tag, core, position)
+        self.occupancy[core] += 1
+        policy.on_fill(cset, new_block, core)
+        if scheme is not None:
+            scheme.on_fill(cset, new_block, core)
+
+        self._tick_interval()
+        return AccessResult(False, set_index, evicted_core, evicted_addr)
+
+    def _tick_interval(self) -> None:
+        """Advance the miss-interval clock and fire the scheme callback."""
+        scheme = self.scheme
+        if scheme is None:
+            return
+        interval_len = getattr(scheme, "interval_len", 0)
+        if not interval_len:
+            return
+        self.interval_miss_count += 1
+        if self.interval_miss_count < interval_len:
+            return
+        scheme.end_interval(self)
+        self.stats.reset_interval()
+        for monitor in self.monitors:
+            end_interval = getattr(monitor, "end_interval", None)
+            if end_interval is not None:
+                end_interval()
+        self.interval_miss_count = 0
+        self.intervals_completed += 1
+
+    # -- integrity checks (used by tests and assertions) ------------------------
+
+    def scan_occupancy(self) -> List[int]:
+        """Recompute per-core occupancy by scanning every set (slow)."""
+        counts = [0] * self.num_cores
+        for cset in self.sets:
+            for block in cset.blocks:
+                counts[block.core] += 1
+        return counts

@@ -1,0 +1,114 @@
+"""One cache set: lookup structure plus a recency ordering.
+
+The recency list is the single source of truth that replacement policies
+manipulate. Index 0 is the MRU position and index ``len-1`` the LRU
+position; policies express insertion and promotion as list positions, which
+keeps LRU, LIP/BIP (DIP) and PIPP's arbitrary insertion points uniform.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.cache.block import CacheBlock
+
+__all__ = ["CacheSet"]
+
+
+class CacheSet:
+    """A set of ``assoc`` blocks with an MRU→LRU recency order.
+
+    Attributes:
+        index: this set's index within the cache.
+        blocks: recency-ordered valid blocks (index 0 = MRU). Invalid blocks
+            are kept aside in a free pool and are not part of the ordering.
+    """
+
+    __slots__ = ("index", "assoc", "blocks", "_by_tag", "_free")
+
+    def __init__(self, index: int, assoc: int) -> None:
+        self.index = index
+        self.assoc = assoc
+        self.blocks: List[CacheBlock] = []
+        self._by_tag: Dict[int, CacheBlock] = {}
+        self._free: List[CacheBlock] = [CacheBlock() for _ in range(assoc)]
+
+    # -- lookup ---------------------------------------------------------
+
+    def lookup(self, tag: int) -> Optional[CacheBlock]:
+        """Return the valid block holding ``tag``, or ``None``."""
+        return self._by_tag.get(tag)
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def full(self) -> bool:
+        """True when every way holds a valid block."""
+        return not self._free
+
+    def __iter__(self) -> Iterator[CacheBlock]:
+        return iter(self.blocks)
+
+    # -- occupancy queries ------------------------------------------------
+
+    def count_core(self, core: int) -> int:
+        """Number of valid blocks owned by ``core`` in this set."""
+        return sum(1 for b in self.blocks if b.core == core)
+
+    def blocks_of(self, core: int) -> List[CacheBlock]:
+        """Valid blocks owned by ``core``, in MRU→LRU order."""
+        return [b for b in self.blocks if b.core == core]
+
+    # -- mutation ---------------------------------------------------------
+
+    def fill(self, tag: int, core: int, position: Optional[int] = None) -> CacheBlock:
+        """Fill a free way with (``tag``, ``core``) and place it in the order.
+
+        Args:
+            tag: address tag; must not already be present.
+            core: owning core id.
+            position: recency position to insert at (0 = MRU). ``None``
+                inserts at MRU; values past the end insert at LRU.
+
+        Raises:
+            RuntimeError: if the set is full (callers must evict first) or
+                the tag is already present.
+        """
+        if tag in self._by_tag:
+            raise RuntimeError(f"set {self.index}: tag {tag:#x} already present")
+        if not self._free:
+            raise RuntimeError(f"set {self.index}: fill on a full set")
+        block = self._free.pop()
+        block.fill(tag, core)
+        if position is None:
+            position = 0
+        self.blocks.insert(min(position, len(self.blocks)), block)
+        self._by_tag[tag] = block
+        return block
+
+    def evict(self, block: CacheBlock) -> None:
+        """Remove ``block`` from the set and return its way to the free pool."""
+        self.blocks.remove(block)
+        del self._by_tag[block.tag]
+        block.invalidate()
+        self._free.append(block)
+
+    def move_to(self, block: CacheBlock, position: int) -> None:
+        """Move a resident block to recency ``position`` (0 = MRU)."""
+        self.blocks.remove(block)
+        self.blocks.insert(min(position, len(self.blocks)), block)
+
+    def position_of(self, block: CacheBlock) -> int:
+        """Current recency position of ``block`` (0 = MRU)."""
+        return self.blocks.index(block)
+
+    def lru_block(self) -> CacheBlock:
+        """The block at the LRU position.
+
+        Raises:
+            RuntimeError: if the set is empty.
+        """
+        if not self.blocks:
+            raise RuntimeError(f"set {self.index}: LRU of empty set")
+        return self.blocks[-1]

@@ -1,0 +1,78 @@
+"""Cache geometry arithmetic.
+
+Addresses throughout the simulator are *block addresses* (integers that
+already had the byte offset stripped); the geometry maps a block address to
+a (set index, tag) pair and exposes the derived counts the PriSM analytical
+model needs (``N``, the total number of blocks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validate import check_power_of_two
+
+__all__ = ["CacheGeometry"]
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Geometry of a set-associative cache.
+
+    Attributes:
+        size_bytes: total capacity in bytes.
+        block_bytes: cache-block (line) size in bytes.
+        assoc: associativity (number of ways per set).
+    """
+
+    size_bytes: int
+    block_bytes: int = 64
+    assoc: int = 16
+
+    def __post_init__(self) -> None:
+        check_power_of_two("size_bytes", self.size_bytes)
+        check_power_of_two("block_bytes", self.block_bytes)
+        check_power_of_two("assoc", self.assoc)
+        if self.num_blocks % self.assoc != 0:
+            raise ValueError(
+                f"capacity {self.size_bytes}B / {self.block_bytes}B blocks is not "
+                f"divisible into {self.assoc}-way sets"
+            )
+        if self.num_sets < 1:
+            raise ValueError("geometry yields zero sets")
+
+    @property
+    def num_blocks(self) -> int:
+        """Total number of cache blocks (``N`` in the paper's notation)."""
+        return self.size_bytes // self.block_bytes
+
+    @property
+    def num_sets(self) -> int:
+        """Number of cache sets."""
+        return self.num_blocks // self.assoc
+
+    def set_index(self, block_addr: int) -> int:
+        """Map a block address to its set index."""
+        return block_addr & (self.num_sets - 1)
+
+    def tag(self, block_addr: int) -> int:
+        """Map a block address to its tag (set-index bits stripped)."""
+        return block_addr >> (self.num_sets - 1).bit_length() if self.num_sets > 1 else block_addr
+
+    def block_addr(self, set_index: int, tag: int) -> int:
+        """Inverse of (:meth:`set_index`, :meth:`tag`)."""
+        if self.num_sets == 1:
+            return tag
+        return (tag << (self.num_sets - 1).bit_length()) | set_index
+
+    def scaled(self, factor: int) -> "CacheGeometry":
+        """Return a geometry with capacity divided by ``factor`` (same assoc)."""
+        check_power_of_two("factor", factor)
+        return CacheGeometry(self.size_bytes // factor, self.block_bytes, self.assoc)
+
+    def __str__(self) -> str:
+        if self.size_bytes >= 1 << 20:
+            size = f"{self.size_bytes >> 20}MB"
+        else:
+            size = f"{self.size_bytes >> 10}KB"
+        return f"{size}/{self.assoc}way/{self.block_bytes}B"

@@ -1,0 +1,87 @@
+"""Interval-history recorder.
+
+A monitor that snapshots the control loop's trajectory — per-core
+occupancy, and the scheme's targets/eviction probabilities when a PriSM
+scheme is attached — at every allocation interval. Use it to inspect (or
+export and plot) convergence, phase adaptation, and oscillation:
+
+    history = IntervalHistory(cache)
+    system.run(...)
+    history.to_rows()       # list of flat dicts, CSV-ready
+
+Snapshots are taken after the scheme's interval update, so each record
+pairs the occupancy *entering* an interval with the distribution that
+will govern it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cache.cache import SharedCache
+
+__all__ = ["IntervalHistory"]
+
+
+class IntervalHistory:
+    """Record per-interval control-loop state.
+
+    Args:
+        cache: the cache to observe (self-registers as a monitor).
+        max_records: ring-buffer bound (None = unbounded).
+    """
+
+    def __init__(self, cache: SharedCache, max_records: Optional[int] = None) -> None:
+        if max_records is not None and max_records < 1:
+            raise ValueError(f"max_records must be >= 1, got {max_records}")
+        self.cache = cache
+        self.max_records = max_records
+        self.records: List[Dict] = []
+        cache.add_monitor(self)
+
+    def observe(self, core: int, set_index: int, tag: int, hit: bool) -> None:
+        pass
+
+    def end_interval(self) -> None:
+        scheme = self.cache.scheme
+        record: Dict = {
+            "interval": self.cache.intervals_completed + 1,
+            "occupancy": self.cache.occupancy_fractions(),
+        }
+        if scheme is not None:
+            targets = getattr(scheme, "targets", None)
+            if targets:
+                record["targets"] = list(targets)
+            manager = getattr(scheme, "manager", None)
+            if manager is not None:
+                record["probabilities"] = list(manager.probabilities)
+            quotas = getattr(scheme, "quotas", None)
+            if quotas:
+                record["quotas"] = list(quotas)
+        self.records.append(record)
+        if self.max_records is not None and len(self.records) > self.max_records:
+            del self.records[0]
+
+    def series(self, field: str, core: int) -> List[float]:
+        """One core's trajectory of ``field`` (occupancy/targets/...)."""
+        return [r[field][core] for r in self.records if field in r]
+
+    def to_rows(self) -> List[Dict]:
+        """Flatten to CSV-friendly rows (one row per interval per core)."""
+        rows = []
+        for record in self.records:
+            for core, occupancy in enumerate(record["occupancy"]):
+                row = {
+                    "interval": record["interval"],
+                    "core": core,
+                    "occupancy": occupancy,
+                }
+                for field, column in (
+                    ("targets", "target"),
+                    ("probabilities", "probability"),
+                    ("quotas", "quota"),
+                ):
+                    if field in record:
+                        row[column] = record[field][core]
+                rows.append(row)
+        return rows

@@ -1,0 +1,73 @@
+"""Replacement-policy interface.
+
+A policy answers three questions about a set:
+
+1. where does a newly filled block go in the recency order
+   (:meth:`insertion_position`),
+2. what happens to a block on a hit (:meth:`on_hit`),
+3. in what order would the policy prefer to evict the resident blocks
+   (:meth:`eviction_order`).
+
+Question 3 is the key to PriSM's policy-agnosticism: the probabilistic
+manager asks for the preference order and takes the first block owned by
+the sampled victim core, so any policy that can rank blocks works unchanged
+underneath PriSM (Section 3.1 of the paper).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, List
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cache.block import CacheBlock
+    from repro.cache.cache import SharedCache
+    from repro.cache.cacheset import CacheSet
+
+__all__ = ["ReplacementPolicy"]
+
+
+class ReplacementPolicy(ABC):
+    """Base class for baseline replacement policies."""
+
+    name = "base"
+
+    def bind(self, cache: "SharedCache") -> None:
+        """Attach the policy to its cache.
+
+        Called once by :class:`~repro.cache.cache.SharedCache`; policies that
+        need global state (set dueling, timestamp counters) size it here.
+        """
+        self.cache = cache
+
+    def notify_access(self, cset: "CacheSet") -> None:
+        """Called on every access, hit or miss, before the lookup result is used."""
+
+    def record_miss(self, cset: "CacheSet", core: int) -> None:
+        """Called on every miss (set-dueling policies update selectors here)."""
+
+    @abstractmethod
+    def insertion_position(self, cset: "CacheSet", core: int) -> int:
+        """Recency position (0 = MRU) at which a fill by ``core`` lands."""
+
+    def on_hit(self, cset: "CacheSet", block: "CacheBlock", core: int) -> None:
+        """Promotion behaviour on a hit; default is move-to-MRU."""
+        cset.move_to(block, 0)
+
+    def on_fill(self, cset: "CacheSet", block: "CacheBlock", core: int) -> None:
+        """Hook after a fill was placed (policies stamp metadata here)."""
+
+    @abstractmethod
+    def eviction_order(self, cset: "CacheSet") -> List["CacheBlock"]:
+        """Resident blocks ordered best-victim-first."""
+
+    def victim(self, cset: "CacheSet") -> "CacheBlock":
+        """The policy's preferred victim in ``cset``.
+
+        Raises:
+            RuntimeError: if the set holds no valid blocks.
+        """
+        order = self.eviction_order(cset)
+        if not order:
+            raise RuntimeError(f"set {cset.index}: victim requested from empty set")
+        return order[0]

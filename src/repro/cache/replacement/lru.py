@@ -1,0 +1,25 @@
+"""True LRU — the paper's default baseline replacement policy."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cache.replacement.base import ReplacementPolicy
+
+__all__ = ["LRUPolicy"]
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Least-recently-used replacement.
+
+    Fills insert at MRU, hits promote to MRU, and the eviction order walks
+    the recency list from the LRU end.
+    """
+
+    name = "lru"
+
+    def insertion_position(self, cset, core: int) -> int:
+        return 0
+
+    def eviction_order(self, cset) -> List:
+        return cset.blocks[::-1]

@@ -1,0 +1,31 @@
+"""Random replacement — useful as a stress baseline and in tests."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cache.replacement.base import ReplacementPolicy
+from repro.util.rng import make_rng
+
+__all__ = ["RandomPolicy"]
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniform-random victim choice; insertion at MRU, no promotion state."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = make_rng(seed, "random-replacement")
+
+    def insertion_position(self, cset, core: int) -> int:
+        return 0
+
+    def on_hit(self, cset, block, core: int) -> None:
+        # Random replacement keeps no recency state; leave the order alone.
+        pass
+
+    def eviction_order(self, cset) -> List:
+        order = list(cset.blocks)
+        self._rng.shuffle(order)
+        return order

@@ -1,0 +1,68 @@
+"""Coarse timestamp-based LRU, as used by ZCache/Vantage [16, 17].
+
+Instead of a per-set recency list, every block carries a K-bit timestamp
+stamped from a global access counter that increments once every
+``accesses_per_tick`` cache accesses. The eviction order ranks blocks by
+wrap-around age. The PriSM-vs-Vantage comparison (Fig. 7/8) uses this
+policy as the common baseline for both schemes, mirroring Section 5.3.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cache.replacement.base import ReplacementPolicy
+
+__all__ = ["TimestampLRUPolicy"]
+
+
+class TimestampLRUPolicy(ReplacementPolicy):
+    """Timestamp LRU with ``bits``-wide timestamps.
+
+    Args:
+        bits: timestamp width (8 in the Vantage paper).
+        accesses_per_tick: global accesses per timestamp increment. ``None``
+            picks 1/16 of the cache's block count at :meth:`bind` time, the
+            granularity used by the Vantage paper.
+    """
+
+    name = "tslru"
+
+    def __init__(self, bits: int = 8, accesses_per_tick: int = None) -> None:
+        if bits < 2:
+            raise ValueError(f"timestamp bits must be >= 2, got {bits}")
+        self.bits = bits
+        self._modulus = 1 << bits
+        self._configured_tick = accesses_per_tick
+        self.accesses_per_tick = accesses_per_tick or 1
+        self.now = 0
+        self._access_count = 0
+
+    def bind(self, cache) -> None:
+        super().bind(cache)
+        if self._configured_tick is None:
+            self.accesses_per_tick = max(1, cache.geometry.num_blocks // 16)
+
+    def notify_access(self, cset) -> None:
+        self._access_count += 1
+        if self._access_count >= self.accesses_per_tick:
+            self._access_count = 0
+            self.now = (self.now + 1) % self._modulus
+
+    def age(self, block) -> int:
+        """Wrap-around age of ``block`` in timestamp ticks."""
+        return (self.now - block.timestamp) % self._modulus
+
+    def insertion_position(self, cset, core: int) -> int:
+        return 0
+
+    def on_hit(self, cset, block, core: int) -> None:
+        block.timestamp = self.now
+        cset.move_to(block, 0)
+
+    def on_fill(self, cset, block, core: int) -> None:
+        block.timestamp = self.now
+
+    def eviction_order(self, cset) -> List:
+        # Oldest first; among same-tick blocks the LRU-most goes first.
+        return sorted(cset.blocks[::-1], key=self.age, reverse=True)

@@ -1,0 +1,88 @@
+"""Per-core and aggregate cache statistics.
+
+Two layers of counters are kept:
+
+- *lifetime* counters, never reset, used for end-of-run reporting, and
+- *interval* counters, reset at each allocation-policy invocation, which
+  provide the miss fractions ``M_i`` and the shared/stand-alone hit deltas
+  the PriSM allocation policies consume.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+__all__ = ["CacheStats"]
+
+
+class CacheStats:
+    """Hit/miss/eviction counters for a shared cache with ``num_cores`` cores."""
+
+    def __init__(self, num_cores: int) -> None:
+        if num_cores < 1:
+            raise ValueError(f"num_cores must be >= 1, got {num_cores}")
+        self.num_cores = num_cores
+        self.hits: List[int] = [0] * num_cores
+        self.misses: List[int] = [0] * num_cores
+        # Evictions *suffered* by a core (its block was chosen as victim).
+        self.evictions: List[int] = [0] * num_cores
+        self.interval_hits: List[int] = [0] * num_cores
+        self.interval_misses: List[int] = [0] * num_cores
+        self.interval_evictions: List[int] = [0] * num_cores
+
+    # -- recording --------------------------------------------------------
+
+    def record_hit(self, core: int) -> None:
+        self.hits[core] += 1
+        self.interval_hits[core] += 1
+
+    def record_miss(self, core: int) -> None:
+        self.misses[core] += 1
+        self.interval_misses[core] += 1
+
+    def record_eviction(self, victim_core: int) -> None:
+        self.evictions[victim_core] += 1
+        self.interval_evictions[victim_core] += 1
+
+    def reset_interval(self) -> None:
+        """Zero the interval counters (called after each reallocation)."""
+        for counters in (self.interval_hits, self.interval_misses, self.interval_evictions):
+            for core in range(self.num_cores):
+                counters[core] = 0
+
+    # -- derived queries ----------------------------------------------------
+
+    def accesses(self, core: int) -> int:
+        """Lifetime accesses issued by ``core``."""
+        return self.hits[core] + self.misses[core]
+
+    def total_misses(self) -> int:
+        return sum(self.misses)
+
+    def total_hits(self) -> int:
+        return sum(self.hits)
+
+    def miss_rate(self, core: int) -> float:
+        """Lifetime miss rate of ``core`` (0 when it made no accesses)."""
+        accesses = self.accesses(core)
+        return self.misses[core] / accesses if accesses else 0.0
+
+    def interval_miss_fractions(self) -> List[float]:
+        """``M_i``: each core's share of this interval's misses.
+
+        Sums to 1 whenever any miss occurred this interval; an all-zero
+        interval yields a uniform distribution so that Eq. 1 stays
+        well-defined.
+        """
+        total = sum(self.interval_misses)
+        if total == 0:
+            return [1.0 / self.num_cores] * self.num_cores
+        return [m / total for m in self.interval_misses]
+
+    def snapshot(self) -> Dict[str, List[int]]:
+        """Copy of the lifetime counters, for reporting."""
+        return {
+            "hits": list(self.hits),
+            "misses": list(self.misses),
+            "evictions": list(self.evictions),
+        }

@@ -1,0 +1,315 @@
+"""Command-line interface: run mixes, compare schemes, regenerate figures.
+
+Installed as ``repro-sim``::
+
+    repro-sim list                                  # schemes/mixes/experiments
+    repro-sim run --mix Q7 --scheme prism-h         # one shared run
+    repro-sim compare --mix Q7 lru prism-h ucp      # side-by-side
+    repro-sim experiment fig7 --csv out/fig7        # a paper figure (+CSV)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments.common import format_table
+from repro.experiments.configs import DEFAULT_INSTRUCTIONS, machine
+from repro.experiments.export import export_csv
+from repro.experiments.registry import EXPERIMENTS
+from repro.experiments.runner import run_workload
+from repro.experiments.schemes import SCHEMES
+from repro.workloads.mixes import MIXES, get_mix
+from repro.workloads.spec import PROFILES
+
+__all__ = ["main", "build_parser"]
+
+
+def _mix_cores(mix: str) -> int:
+    return len(get_mix(mix))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description="PriSM (ISCA 2012) reproduction: shared-cache simulation CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_p = sub.add_parser("list", help="list schemes, mixes, benchmarks, experiments")
+    list_p.add_argument(
+        "what",
+        nargs="?",
+        default="all",
+        choices=["all", "schemes", "mixes", "benchmarks", "experiments"],
+    )
+
+    run_p = sub.add_parser("run", help="run one mix under one scheme")
+    run_p.add_argument("--mix", required=True, help="mix name (e.g. Q7) or comma-separated benchmarks")
+    run_p.add_argument("--scheme", default="prism-h", help="scheme registry name")
+    run_p.add_argument("--instructions", type=int, default=None)
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--scale-factor", type=int, default=64, help="cache scaling divisor")
+
+    cmp_p = sub.add_parser("compare", help="run one mix under several schemes")
+    cmp_p.add_argument("schemes", nargs="+", help="scheme registry names")
+    cmp_p.add_argument("--mix", required=True)
+    cmp_p.add_argument("--instructions", type=int, default=None)
+    cmp_p.add_argument("--seed", type=int, default=0)
+
+    exp_p = sub.add_parser("experiment", help="regenerate a paper figure")
+    exp_p.add_argument("id", choices=sorted(EXPERIMENTS), help="experiment id")
+    exp_p.add_argument("--instructions", type=int, default=None)
+    exp_p.add_argument("--csv", default=None, help="also export tables as CSV (path prefix)")
+    exp_p.add_argument("--verbose", action="store_true")
+
+    char_p = sub.add_parser(
+        "characterize", help="measure a benchmark's miss curve and reuse profile"
+    )
+    char_p.add_argument("benchmark", help="catalog name (e.g. 179.art)")
+    char_p.add_argument("--accesses", type=int, default=30_000)
+
+    report_p = sub.add_parser(
+        "report", help="regenerate the evaluation into a markdown report"
+    )
+    report_p.add_argument("-o", "--output", default="results.md")
+    report_p.add_argument("--budget", choices=["micro", "quick", "full"],
+                          default="quick")
+    report_p.add_argument("--only", nargs="*", default=None)
+    report_p.add_argument("--quiet", action="store_true")
+
+    cost_p = sub.add_parser(
+        "cost", help="hardware storage overhead per scheme (paper §3.4)"
+    )
+    cost_p.add_argument("--cores", type=int, default=16, choices=[4, 8, 16, 32])
+    cost_p.add_argument("--paper-scale", action="store_true",
+                        help="use the unscaled Table-2 cache")
+    cost_p.add_argument("--bits", type=int, default=8,
+                        help="probability width K for PriSM")
+
+    sweep_p = sub.add_parser(
+        "sweep", help="sweep one scheme parameter over a mix (ANTT vs LRU)"
+    )
+    sweep_p.add_argument("parameter", help="scheme kwarg to sweep "
+                         "(e.g. interval_len, probability_bits, sample_shift)")
+    sweep_p.add_argument("values", nargs="+", type=int, help="values to try")
+    sweep_p.add_argument("--mix", required=True)
+    sweep_p.add_argument("--scheme", default="prism-h")
+    sweep_p.add_argument("--instructions", type=int, default=None)
+    sweep_p.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _resolve(mix: str):
+    """Mix argument: a registry name or comma-separated benchmark names."""
+    if "," in mix:
+        names = [n.strip() for n in mix.split(",")]
+        return names, len(names)
+    return mix, _mix_cores(mix)
+
+
+def _print_run(result) -> None:
+    rows = []
+    for core, name in enumerate(result.benchmarks):
+        rows.append(
+            [
+                core,
+                name,
+                result.standalone[core],
+                result.cores[core].ipc,
+                result.slowdown(core),
+                result.cores[core].misses,
+                result.cores[core].occupancy_at_finish,
+            ]
+        )
+    print(format_table(
+        ["core", "benchmark", "IPC-alone", "IPC", "slowdown", "misses", "occupancy"],
+        rows,
+        width=13,
+    ))
+    print(
+        f"\nANTT={result.antt:.4f}  fairness={result.fairness:.4f}  "
+        f"throughput={result.throughput:.4f}  intervals={result.intervals}"
+    )
+    probabilities = result.extra.get("eviction_probabilities")
+    if probabilities:
+        print("eviction probabilities:", [round(p, 3) for p in probabilities])
+
+
+def cmd_list(args) -> int:
+    if args.what in ("all", "schemes"):
+        print("schemes:")
+        for name, spec in sorted(SCHEMES.items()):
+            print(f"  {name:>16}  {spec.description}")
+    if args.what in ("all", "mixes"):
+        counts = {}
+        for name in MIXES:
+            counts.setdefault(name[0], []).append(name)
+        print("mixes: " + ", ".join(
+            f"{prefix}1-{prefix}{len(names)} ({len(get_mix(names[0]))}-core)"
+            for prefix, names in sorted(counts.items())
+        ))
+    if args.what in ("all", "benchmarks"):
+        print("benchmarks:")
+        for name, profile in sorted(PROFILES.items()):
+            print(f"  {name:>16}  {profile.category:>12}  footprint={profile.footprint()} blocks")
+    if args.what in ("all", "experiments"):
+        print("experiments:")
+        for experiment_id, experiment in sorted(EXPERIMENTS.items()):
+            print(f"  {experiment_id:>6}  {experiment.title}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    mix, cores = _resolve(args.mix)
+    config = machine(cores, scale_factor=args.scale_factor)
+    start = time.time()
+    result = run_workload(
+        mix, config, args.scheme, seed=args.seed, instructions=args.instructions
+    )
+    print(f"machine {config} | scheme {args.scheme} | mix {args.mix}")
+    _print_run(result)
+    print(f"({time.time() - start:.1f}s)")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    mix, cores = _resolve(args.mix)
+    config = machine(cores)
+    rows = []
+    for scheme in args.schemes:
+        result = run_workload(
+            mix, config, scheme, seed=args.seed, instructions=args.instructions
+        )
+        rows.append([scheme, result.antt, result.fairness, result.throughput])
+    print(f"machine {config} | mix {args.mix}")
+    print(format_table(["scheme", "ANTT", "fairness", "throughput"], rows, width=14))
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    experiment = EXPERIMENTS[args.id]
+    kwargs = {}
+    if args.instructions:
+        kwargs["instructions"] = args.instructions
+    progress = (lambda msg: print(f"  {msg}", flush=True)) if args.verbose else None
+    result = experiment.run(progress=progress, **kwargs)
+    print(experiment.format(result))
+    if args.csv:
+        for path in export_csv(result, args.csv):
+            print(f"wrote {path}")
+    return 0
+
+
+def cmd_cost(args) -> int:
+    from repro.core.hardware import scheme_costs
+
+    config = machine(args.cores, scale_factor=1 if args.paper_scale else 64)
+    costs = scheme_costs(config.geometry, args.cores, probability_bits=args.bits)
+    rows = [
+        [
+            cost.name,
+            cost.per_block_bits / 8 / 1024,
+            cost.global_bits / 8 / 1024,
+            cost.monitor_bits / 8 / 1024,
+            cost.total_kib(),
+        ]
+        for cost in sorted(costs.values(), key=lambda c: c.total_bits)
+    ]
+    print(f"storage overhead on {config.geometry} with {args.cores} cores (KiB)")
+    print(format_table(["scheme", "per-block", "global", "monitors", "total"], rows))
+    return 0
+
+
+def cmd_characterize(args) -> int:
+    from repro.workloads.analysis import (
+        classify_profile,
+        miss_curve,
+        reuse_distance_histogram,
+    )
+    from repro.workloads.spec import get_profile
+
+    profile = get_profile(args.benchmark)
+    sizes = [128, 256, 512, 1024, 2048]
+    curve = miss_curve(profile, sizes, accesses=args.accesses)
+    hist = reuse_distance_histogram(profile, accesses=args.accesses)
+    print(f"{profile.name}: declared category {profile.category!r}, "
+          f"measured {classify_profile(profile)!r}")
+    print(f"footprint {profile.footprint()} blocks | "
+          f"{profile.mem_ratio:.3f} LLC accesses/instr | MLP {profile.mlp}")
+    print("\nmiss rate vs cache size (blocks):")
+    print(format_table(["blocks", "miss-rate"], list(zip(sizes, curve))))
+    print("\nreuse-distance histogram:")
+    total = sum(hist.values())
+    print(format_table(
+        ["bucket", "share"], [[k, v / total] for k, v in hist.items()]
+    ))
+    return 0
+
+
+def cmd_report(args) -> int:
+    from pathlib import Path
+
+    from repro.experiments.report import generate_report
+
+    progress = None if args.quiet else (lambda msg: print(f"  {msg}", flush=True))
+    path = generate_report(
+        Path(args.output), budget=args.budget, only=args.only, progress=progress
+    )
+    print(f"wrote {path}")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    mix, cores = _resolve(args.mix)
+    config = machine(cores)
+    baseline = run_workload(
+        mix, config, "lru", seed=args.seed, instructions=args.instructions
+    )
+    rows = []
+    for value in args.values:
+        result = run_workload(
+            mix,
+            config,
+            args.scheme,
+            seed=args.seed,
+            instructions=args.instructions,
+            scheme_kwargs={args.parameter: value},
+        )
+        rows.append([value, result.antt, result.antt / baseline.antt, result.fairness])
+    print(f"machine {config} | mix {args.mix} | scheme {args.scheme} | "
+          f"sweeping {args.parameter}")
+    print(format_table([args.parameter, "ANTT", "vs LRU", "fairness"], rows, width=14))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": cmd_list,
+        "run": cmd_run,
+        "compare": cmd_compare,
+        "experiment": cmd_experiment,
+        "sweep": cmd_sweep,
+        "cost": cmd_cost,
+        "report": cmd_report,
+        "characterize": cmd_characterize,
+    }
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: exit quietly.
+        import os
+
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        os.dup2(os.open(os.devnull, os.O_WRONLY), 1)
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""PriSM — the paper's primary contribution.
+
+Three pieces, mirroring Section 3 of the paper:
+
+1. :mod:`repro.core.eviction` — the analytical model (Eq. 1) that turns
+   target occupancies into eviction probabilities,
+2. :mod:`repro.core.manager` — the probabilistic cache manager: the
+   core-selection + victim-identification replacement step,
+3. :mod:`repro.core.allocation` — allocation policies that turn high-level
+   goals (hit-maximisation, fairness, QoS) into target occupancies.
+
+:class:`~repro.core.prism.PrismScheme` ties them together as a management
+scheme pluggable into :class:`repro.cache.SharedCache`.
+"""
+
+from repro.core.eviction import derive_eviction_probabilities, projected_occupancy
+from repro.core.hardware import SchemeCost, scheme_costs
+from repro.core.manager import ProbabilisticCacheManager
+from repro.core.quantize import dequantize, quantize_distribution
+from repro.core.prism import PrismScheme
+from repro.core.allocation import (
+    AllocationContext,
+    AllocationPolicy,
+    FairnessPolicy,
+    HitMaxPolicy,
+    QOSPolicy,
+    UCPExtendedPolicy,
+)
+
+__all__ = [
+    "derive_eviction_probabilities",
+    "projected_occupancy",
+    "SchemeCost",
+    "scheme_costs",
+    "ProbabilisticCacheManager",
+    "quantize_distribution",
+    "dequantize",
+    "PrismScheme",
+    "AllocationContext",
+    "AllocationPolicy",
+    "HitMaxPolicy",
+    "FairnessPolicy",
+    "QOSPolicy",
+    "UCPExtendedPolicy",
+]

@@ -1,0 +1,62 @@
+"""Extension: a tunable throughput/fairness blend.
+
+The paper positions PriSM as a *framework*: "the flexibility to implement
+and choose from a variety of performance goals" (Section 3.3). This policy
+demonstrates that flexibility beyond the paper's three goals by blending
+the hit-maximisation and fairness targets:
+
+    T = (1 - balance) * T_hitmax + balance * T_fairness
+
+``balance = 0`` is PriSM-H, ``balance = 1`` is PriSM-F, and intermediate
+values trade aggregate hits against slowdown equality — the knob an
+operator actually wants when neither extreme is acceptable.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.allocation.base import AllocationContext, AllocationPolicy, normalize_targets
+from repro.core.allocation.fairness import FairnessPolicy
+from repro.core.allocation.hitmax import HitMaxPolicy
+from repro.util.validate import check_fraction
+
+__all__ = ["BalancedPolicy"]
+
+
+class BalancedPolicy(AllocationPolicy):
+    """Convex combination of PriSM-H and PriSM-F targets.
+
+    Args:
+        balance: 0 = pure hit-maximisation, 1 = pure fairness.
+        hitmax: the hit-max component (default :class:`HitMaxPolicy`).
+        fairness: the fairness component (default :class:`FairnessPolicy`).
+    """
+
+    name = "prism-balanced"
+    requires_perf = True
+
+    def __init__(
+        self,
+        balance: float = 0.5,
+        hitmax: HitMaxPolicy = None,
+        fairness: FairnessPolicy = None,
+    ) -> None:
+        check_fraction("balance", balance)
+        self.balance = balance
+        self.hitmax = hitmax if hitmax is not None else HitMaxPolicy()
+        self.fairness = fairness if fairness is not None else FairnessPolicy()
+
+    def compute_targets(self, ctx: AllocationContext) -> List[float]:
+        if self.balance == 0.0:
+            return self.hitmax.compute_targets(ctx)
+        if self.balance == 1.0:
+            return self.fairness.compute_targets(ctx)
+        self._check_perf(ctx)
+        hit_targets = self.hitmax.compute_targets(ctx)
+        fair_targets = self.fairness.compute_targets(ctx)
+        blended = [
+            (1.0 - self.balance) * h + self.balance * f
+            for h, f in zip(hit_targets, fair_targets)
+        ]
+        return normalize_targets(blended)

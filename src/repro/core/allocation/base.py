@@ -1,0 +1,69 @@
+"""Allocation-policy interface and the counter snapshot it consumes."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.cache.shadow import ShadowTagMonitor
+
+__all__ = ["AllocationContext", "AllocationPolicy", "normalize_targets"]
+
+
+@dataclass
+class AllocationContext:
+    """Everything an allocation policy may read at the end of an interval.
+
+    Attributes:
+        num_cores: cores sharing the cache.
+        occupancy: ``C_i`` — current occupancy fractions (sum <= 1; equals 1
+            once the cache is warm).
+        miss_fractions: ``M_i`` — the just-finished interval's per-core miss
+            shares (sum to 1).
+        num_blocks: ``N``.
+        interval: ``W`` in misses.
+        shadow: sampled shadow tags with interval counters.
+        perf: performance counters, or ``None`` when the cache runs without
+            a timing model. When present it must provide ``cpi(core)``,
+            ``ipc(core)`` and ``llc_stall_cpi(core)`` — the counters
+            Section 3.3 reads (CPI, IPC, commit-stall cycles from long
+            latency loads).
+    """
+
+    num_cores: int
+    occupancy: List[float]
+    miss_fractions: List[float]
+    num_blocks: int
+    interval: int
+    shadow: ShadowTagMonitor
+    perf: Optional[object] = None
+
+
+def normalize_targets(targets: Sequence[float]) -> List[float]:
+    """Scale non-negative targets to sum to 1 (uniform if all-zero)."""
+    clipped = [max(0.0, t) for t in targets]
+    total = sum(clipped)
+    if total <= 0.0:
+        n = len(clipped)
+        return [1.0 / n] * n if n else []
+    return [t / total for t in clipped]
+
+
+class AllocationPolicy(ABC):
+    """Base class: map an interval snapshot to target occupancies."""
+
+    name = "base"
+    #: Whether the policy needs a timing model (``ctx.perf``).
+    requires_perf = False
+
+    @abstractmethod
+    def compute_targets(self, ctx: AllocationContext) -> List[float]:
+        """Return ``T_i`` (non-negative, summing to 1)."""
+
+    def _check_perf(self, ctx: AllocationContext) -> None:
+        if self.requires_perf and ctx.perf is None:
+            raise RuntimeError(
+                f"{self.name} needs performance counters; run it inside a "
+                "MultiCoreSystem (or provide ctx.perf)"
+            )

@@ -1,0 +1,77 @@
+"""PriSM-F: fairness allocation (Algorithm 2).
+
+Fairness means equal slowdown relative to stand-alone execution [3]. The
+policy estimates each core's stand-alone CPI from counters available on the
+shared run:
+
+    CPI_shared = CPI_ideal + CPI_llc              (measured)
+    CPI_llc^alone = CPI_llc * scale               (shadow-tag miss delta)
+    CPI_alone = (CPI_shared - CPI_llc) + CPI_llc^alone
+    Slowdown_i = CPI_shared / CPI_alone
+
+``CPI_llc`` is the commit-stall CPI attributable to LLC misses — a counter
+modern processors expose [4] and our timing model computes exactly. The
+scaling factor is the ratio of stand-alone to shared misses on the sampled
+shadow sets ("the estimate of benefits provided by shadow tags to scale
+the CPI_llc value linearly"). Cache space then grows in proportion to each
+core's slowdown:
+
+    T_i = C_i * Slowdown_i,  then normalise.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.allocation.base import AllocationContext, AllocationPolicy, normalize_targets
+
+__all__ = ["FairnessPolicy"]
+
+
+class FairnessPolicy(AllocationPolicy):
+    """Algorithm 2 of the paper.
+
+    Args:
+        occupancy_floor: same reachability floor (in blocks) as PriSM-H.
+    """
+
+    name = "prism-fairness"
+    requires_perf = True
+
+    def __init__(self, occupancy_floor: float = 1.0) -> None:
+        if occupancy_floor < 0:
+            raise ValueError(f"occupancy_floor must be >= 0, got {occupancy_floor}")
+        self.occupancy_floor = occupancy_floor
+
+    def estimated_slowdowns(self, ctx: AllocationContext) -> List[float]:
+        """Per-core ``CPI_shared / CPI_alone`` estimates (>= 1 by clamping)."""
+        self._check_perf(ctx)
+        slowdowns = []
+        for core in range(ctx.num_cores):
+            cpi_shared = ctx.perf.cpi(core)
+            cpi_llc = ctx.perf.llc_stall_cpi(core)
+            if cpi_shared <= 0.0:
+                # Core retired nothing this interval; treat as unaffected.
+                slowdowns.append(1.0)
+                continue
+            cpi_ideal = max(0.0, cpi_shared - cpi_llc)
+            shared_misses = ctx.shadow.shared_misses[core]
+            alone_misses = ctx.shadow.standalone_misses(core)
+            if shared_misses > 0:
+                scale = alone_misses / shared_misses
+            else:
+                scale = 1.0
+            cpi_alone = cpi_ideal + cpi_llc * scale
+            if cpi_alone <= 0.0:
+                slowdowns.append(1.0)
+                continue
+            slowdowns.append(max(1.0, cpi_shared / cpi_alone))
+        return slowdowns
+
+    def compute_targets(self, ctx: AllocationContext) -> List[float]:
+        slowdowns = self.estimated_slowdowns(ctx)
+        floor = self.occupancy_floor / ctx.num_blocks
+        targets = [
+            max(c, floor) * s for c, s in zip(ctx.occupancy, slowdowns)
+        ]
+        return normalize_targets(targets)

@@ -1,0 +1,156 @@
+"""PriSM-H: hit-maximisation allocation (Algorithm 1).
+
+Each core's *potential gain* is how many more hits it would have had with
+the whole cache to itself (shadow-tag stand-alone hits minus actual shared
+hits over the interval, both on the sampled sets). The target occupancy
+scales the current occupancy up in proportion to the core's share of the
+total potential gain:
+
+    T_i = C_i * (1 + PotentialGain_i / TotalGain),  then normalise.
+
+Two optional refinements (both **on** by default; set ``pure=True`` for
+the literal Algorithm 1) compensate for pathologies that the scaled-down
+substrate exposes much more strongly than the paper's full-size machines
+(see DESIGN.md §3 and EXPERIMENTS.md):
+
+- **Small-core protection.** Way-partitioning implicitly guarantees every
+  core at least one way — enough to hold a small program's entire working
+  set. Gain-share scaling has no such floor, so it can hold a cheap-to-
+  satisfy core just below its knee forever, paying steady misses for
+  space that barely helps anyone else. The refinement reads the knee of
+  each core's shadow-tag utility curve (the smallest allocation capturing
+  ``knee_quantile`` of its stand-alone hits) and floors the target there
+  for cores whose knee is small (at most ``protect_cap_mult / num_cores``
+  of the cache).
+- **Thrash discounting.** A core whose utility curve has no knee inside
+  the cache (e.g. a 5x-cache working set) reports a large stand-alone
+  gain it can never realise; its gain is scaled by ``thrash_discount`` so
+  it cannot vampirise space from saturable cores. The threshold is set
+  just below the full cache (0.99) so that big-but-saturable programs —
+  179.art's working set barely fits, exactly the paper's headline case —
+  are never misclassified as thrashers.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.allocation.base import AllocationContext, AllocationPolicy, normalize_targets
+
+__all__ = ["HitMaxPolicy"]
+
+
+class HitMaxPolicy(AllocationPolicy):
+    """Algorithm 1 of the paper, plus optional small-core/thrash guards.
+
+    Args:
+        occupancy_floor: minimum occupancy used in the scaling step, in
+            blocks. Algorithm 1 multiplies the *current* occupancy, so a
+            core squeezed to zero could never recover; the floor (one block
+            by default) keeps the fixed point reachable without changing
+            behaviour for any active core.
+        pure: run the literal Algorithm 1 with no refinements.
+        knee_quantile: stand-alone hit fraction defining a curve's knee.
+        protect_cap_mult: protect a core only when its knee is at most
+            ``protect_cap_mult / num_cores`` of the cache.
+        thrash_knee: knee fraction above which a core counts as
+            unsaturable within the cache.
+        thrash_discount: gain multiplier applied to unsaturable cores.
+    """
+
+    name = "prism-hitmax"
+
+    def __init__(
+        self,
+        occupancy_floor: float = 1.0,
+        pure: bool = False,
+        knee_quantile: float = 0.95,
+        protect_cap_mult: float = 1.5,
+        thrash_knee: float = 0.99,
+        thrash_discount: float = 0.25,
+    ) -> None:
+        if occupancy_floor < 0:
+            raise ValueError(f"occupancy_floor must be >= 0, got {occupancy_floor}")
+        if not 0.0 < knee_quantile <= 1.0:
+            raise ValueError(f"knee_quantile must be in (0, 1], got {knee_quantile}")
+        if not 0.0 <= thrash_discount <= 1.0:
+            raise ValueError(f"thrash_discount must be in [0, 1], got {thrash_discount}")
+        self.occupancy_floor = occupancy_floor
+        self.pure = pure
+        self.knee_quantile = knee_quantile
+        self.protect_cap_mult = protect_cap_mult
+        self.thrash_knee = thrash_knee
+        self.thrash_discount = thrash_discount
+
+    def potential_gains(self, ctx: AllocationContext) -> List[float]:
+        """``StandAloneHits_i - SharedHits_i`` on the sampled sets, floored at 0."""
+        gains = []
+        for core in range(ctx.num_cores):
+            gain = ctx.shadow.standalone_hits(core) - ctx.shadow.shared_hits[core]
+            gains.append(float(max(0, gain)))
+        return gains
+
+    def utility_knees(self, ctx: AllocationContext) -> List[float]:
+        """Per-core knee of the shadow utility curve, as a cache fraction.
+
+        The knee is the smallest way count whose prefix of the stand-alone
+        utility curve reaches ``knee_quantile`` of the full-cache hits
+        (0 for cores with no stand-alone hits this interval).
+        """
+        assoc = ctx.shadow.assoc
+        knees = []
+        for core in range(ctx.num_cores):
+            total = ctx.shadow.hits_with_ways(core, assoc)
+            if total <= 0:
+                knees.append(0.0)
+                continue
+            threshold = self.knee_quantile * total
+            knee_ways = assoc
+            for ways in range(assoc + 1):
+                if ctx.shadow.hits_with_ways(core, ways) >= threshold:
+                    knee_ways = ways
+                    break
+            knees.append(knee_ways / assoc)
+        return knees
+
+    def compute_targets(self, ctx: AllocationContext) -> List[float]:
+        gains = self.potential_gains(ctx)
+        knees = self.utility_knees(ctx) if not self.pure else []
+        if not self.pure:
+            gains = [
+                gain * self.thrash_discount if knees[core] > self.thrash_knee else gain
+                for core, gain in enumerate(gains)
+            ]
+        total_gain = sum(gains)
+        floor = self.occupancy_floor / ctx.num_blocks
+        occupancy = [max(c, floor) for c in ctx.occupancy]
+        if total_gain <= 0.0:
+            # Nobody would do better alone: hold current shares.
+            targets = normalize_targets(occupancy)
+        else:
+            targets = normalize_targets(
+                [c * (1.0 + gain / total_gain) for c, gain in zip(occupancy, gains)]
+            )
+        if self.pure:
+            return targets
+        return self._apply_protection(ctx, targets, knees)
+
+    def _apply_protection(
+        self, ctx: AllocationContext, targets: List[float], knees: List[float]
+    ) -> List[float]:
+        """Floor small cores' targets at their utility knee."""
+        cap = self.protect_cap_mult / ctx.num_cores
+        floors = [k if 0.0 < k <= cap else 0.0 for k in knees]
+        deficit = [i for i in range(ctx.num_cores) if targets[i] < floors[i]]
+        if not deficit:
+            return targets
+        needed = sum(floors[i] - targets[i] for i in deficit)
+        donors_total = sum(t for i, t in enumerate(targets) if i not in deficit)
+        if donors_total <= needed:
+            return targets  # floors infeasible this interval; keep Alg. 1
+        scale = (donors_total - needed) / donors_total
+        adjusted = [
+            floors[i] if i in deficit else targets[i] * scale
+            for i in range(ctx.num_cores)
+        ]
+        return normalize_targets(adjusted)

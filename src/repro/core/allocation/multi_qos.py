@@ -1,0 +1,101 @@
+"""Extension: QoS guarantees for several cores at once.
+
+Algorithm 3 guards a single core; the paper presents the single-core case
+"without loss of generality". This policy generalises it: every
+guaranteed core runs its own multiplicative increase/decrease controller,
+and the remaining cores share what is left under hit-maximisation. If the
+guarantees' combined demand exceeds ``max_total_occupancy``, the targets
+are scaled back proportionally — an explicit admission-control decision
+the single-core algorithm never has to make.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.allocation.base import AllocationContext, AllocationPolicy
+from repro.core.allocation.hitmax import HitMaxPolicy
+from repro.util.validate import check_fraction
+
+__all__ = ["MultiQOSPolicy"]
+
+
+class MultiQOSPolicy(AllocationPolicy):
+    """Per-core IPC floors for several cores, hit-max for the rest.
+
+    Args:
+        targets: mapping ``core -> minimum IPC``.
+        alpha: multiplicative increase when a guaranteed core is under
+            target.
+        beta: multiplicative decrease when it is over.
+        max_total_occupancy: cap on the summed QoS targets, so
+            best-effort cores always keep some cache.
+    """
+
+    name = "prism-multiqos"
+    requires_perf = True
+
+    def __init__(
+        self,
+        targets: Dict[int, float],
+        alpha: float = 0.1,
+        beta: float = 0.1,
+        max_total_occupancy: float = 0.9,
+    ) -> None:
+        if not targets:
+            raise ValueError("need at least one guaranteed core")
+        for core, ipc in targets.items():
+            if core < 0:
+                raise ValueError(f"core ids must be >= 0, got {core}")
+            if ipc <= 0:
+                raise ValueError(f"target IPC for core {core} must be > 0, got {ipc}")
+        check_fraction("max_total_occupancy", max_total_occupancy)
+        self.targets_ipc = dict(targets)
+        self.alpha = alpha
+        self.beta = beta
+        self.max_total_occupancy = max_total_occupancy
+        self._hitmax = HitMaxPolicy()
+
+    def compute_targets(self, ctx: AllocationContext) -> List[float]:
+        self._check_perf(ctx)
+        for core in self.targets_ipc:
+            if core >= ctx.num_cores:
+                raise ValueError(
+                    f"guaranteed core {core} out of range for {ctx.num_cores} cores"
+                )
+        if len(self.targets_ipc) >= ctx.num_cores:
+            raise ValueError("at least one core must remain best-effort")
+
+        # Each guaranteed core: Algorithm 3's multiplicative rule.
+        qos_targets: Dict[int, float] = {}
+        for core, target_ipc in self.targets_ipc.items():
+            occupancy = max(ctx.occupancy[core], 1.0 / ctx.num_blocks)
+            current = ctx.perf.ipc(core)
+            if current < target_ipc:
+                qos_targets[core] = (1.0 + self.alpha) * occupancy
+            elif current > target_ipc:
+                qos_targets[core] = (1.0 - self.beta) * occupancy
+            else:
+                qos_targets[core] = occupancy
+
+        # Admission control: scale back proportionally if over the cap.
+        total = sum(qos_targets.values())
+        if total > self.max_total_occupancy:
+            scale = self.max_total_occupancy / total
+            qos_targets = {core: t * scale for core, t in qos_targets.items()}
+            total = self.max_total_occupancy
+
+        # Hit-max for the best-effort cores in the remaining space.
+        hitmax = self._hitmax.compute_targets(ctx)
+        best_effort = [c for c in range(ctx.num_cores) if c not in qos_targets]
+        weight = sum(hitmax[c] for c in best_effort)
+        remaining = 1.0 - total
+        targets = [0.0] * ctx.num_cores
+        for core, t in qos_targets.items():
+            targets[core] = t
+        for core in best_effort:
+            if weight > 0.0:
+                targets[core] = hitmax[core] / weight * remaining
+            else:
+                targets[core] = remaining / len(best_effort)
+        return targets

@@ -1,0 +1,95 @@
+"""PriSM-Q: quality-of-service allocation (Algorithm 3).
+
+One core (core 0 in the paper, configurable here) gets a minimum-IPC
+guarantee; the remaining cores share what is left under hit-maximisation.
+The QoS core's target occupancy follows a multiplicative
+increase/decrease rule around its current occupancy:
+
+    below target IPC:  T_0 = (1 + alpha) * C_0
+    above target IPC:  T_0 = (1 - beta) * C_0
+    on target:         T_0 = C_0
+
+with alpha = beta = 0.1 in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.allocation.base import AllocationContext, AllocationPolicy
+from repro.core.allocation.hitmax import HitMaxPolicy
+from repro.util.validate import check_fraction, check_positive
+
+__all__ = ["QOSPolicy"]
+
+
+class QOSPolicy(AllocationPolicy):
+    """Algorithm 3 of the paper.
+
+    Args:
+        target_ipc: minimum IPC to hold for the QoS core.
+        qos_core: which core carries the guarantee (paper: core 0).
+        alpha: multiplicative increase step when under target.
+        beta: multiplicative decrease step when over target.
+        deadband: relative IPC band treated as "on target" (0 reproduces
+            the paper's strict comparison).
+        max_occupancy: cap on the QoS core's target fraction, so the other
+            cores always keep some cache.
+    """
+
+    name = "prism-qos"
+    requires_perf = True
+
+    def __init__(
+        self,
+        target_ipc: float,
+        qos_core: int = 0,
+        alpha: float = 0.1,
+        beta: float = 0.1,
+        deadband: float = 0.0,
+        max_occupancy: float = 0.9,
+    ) -> None:
+        check_positive("target_ipc", target_ipc)
+        if qos_core < 0:
+            raise ValueError(f"qos_core must be >= 0, got {qos_core}")
+        check_fraction("max_occupancy", max_occupancy)
+        self.target_ipc = target_ipc
+        self.qos_core = qos_core
+        self.alpha = alpha
+        self.beta = beta
+        self.deadband = deadband
+        self.max_occupancy = max_occupancy
+        self._hitmax = HitMaxPolicy()
+
+    def compute_targets(self, ctx: AllocationContext) -> List[float]:
+        self._check_perf(ctx)
+        if self.qos_core >= ctx.num_cores:
+            raise ValueError(
+                f"qos_core {self.qos_core} out of range for {ctx.num_cores} cores"
+            )
+        qos = self.qos_core
+        current_ipc = ctx.perf.ipc(qos)
+        # Never let the controlled occupancy collapse to zero: one block is
+        # the smallest unit the mechanism can allocate.
+        c0 = max(ctx.occupancy[qos], 1.0 / ctx.num_blocks)
+        if current_ipc < self.target_ipc * (1.0 - self.deadband):
+            t0 = (1.0 + self.alpha) * c0
+        elif current_ipc > self.target_ipc * (1.0 + self.deadband):
+            t0 = (1.0 - self.beta) * c0
+        else:
+            t0 = c0
+        t0 = min(t0, self.max_occupancy)
+
+        # Hit-maximisation for everyone else inside the remaining space.
+        hitmax_targets = self._hitmax.compute_targets(ctx)
+        others_total = sum(t for core, t in enumerate(hitmax_targets) if core != qos)
+        remaining = 1.0 - t0
+        targets = []
+        for core in range(ctx.num_cores):
+            if core == qos:
+                targets.append(t0)
+            elif others_total > 0.0:
+                targets.append(hitmax_targets[core] / others_total * remaining)
+            else:
+                targets.append(remaining / max(1, ctx.num_cores - 1))
+        return targets

@@ -1,0 +1,104 @@
+"""The PriSM analytical model (Section 3.2, Eq. 1).
+
+Over an interval of ``W`` misses on a cache of ``N`` blocks, a core that
+starts at occupancy fraction ``C_i``, contributes miss fraction ``M_i`` and
+is evicted with probability ``E_i`` ends the interval at
+
+    tau_i = C_i + (M_i - E_i) * W / N.
+
+Solving for the eviction probability that reaches a target ``T_i`` gives
+
+    E_i = (C_i - T_i) * N / W + M_i,
+
+clamped to [0, 1] when the target is unreachable within one interval
+(``E_i = 0`` grows as fast as possible, ``E_i = 1`` shrinks as fast as
+possible).
+
+The unclamped values always sum to 1 when ``sum(C) = sum(T)`` and
+``sum(M) = 1`` — the identity the paper's distribution property relies on.
+Clamping can break the sum, so :func:`derive_eviction_probabilities`
+renormalises afterwards; the renormalised vector is what the hardware's
+core-selection step samples from.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.util.validate import check_positive
+
+__all__ = ["eviction_probability", "derive_eviction_probabilities", "projected_occupancy"]
+
+
+def eviction_probability(
+    occupancy: float, target: float, miss_fraction: float, num_blocks: int, interval: int
+) -> float:
+    """Eq. 1 for a single core: clamped ``(C - T) * N/W + M``."""
+    raw = (occupancy - target) * num_blocks / interval + miss_fraction
+    if raw < 0.0:
+        return 0.0
+    if raw > 1.0:
+        return 1.0
+    return raw
+
+
+def derive_eviction_probabilities(
+    occupancy: Sequence[float],
+    targets: Sequence[float],
+    miss_fractions: Sequence[float],
+    num_blocks: int,
+    interval: int,
+    renormalize: bool = True,
+) -> List[float]:
+    """Compute the per-core eviction probability distribution.
+
+    Args:
+        occupancy: ``C_i`` — current occupancy fractions.
+        targets: ``T_i`` — desired occupancy fractions.
+        miss_fractions: ``M_i`` — per-core share of the interval's misses.
+        num_blocks: ``N`` — total cache blocks.
+        interval: ``W`` — interval length in misses.
+        renormalize: rescale the clamped vector to sum to 1 so that it is a
+            sampleable distribution (falls back to ``M`` and then uniform
+            when everything clamps to zero).
+
+    Returns:
+        ``E_i`` as a list of floats.
+
+    Raises:
+        ValueError: if the three input vectors disagree in length.
+    """
+    if not len(occupancy) == len(targets) == len(miss_fractions):
+        raise ValueError(
+            f"length mismatch: C={len(occupancy)} T={len(targets)} M={len(miss_fractions)}"
+        )
+    check_positive("num_blocks", num_blocks)
+    check_positive("interval", interval)
+    probabilities = [
+        eviction_probability(c, t, m, num_blocks, interval)
+        for c, t, m in zip(occupancy, targets, miss_fractions)
+    ]
+    if not renormalize:
+        return probabilities
+    total = sum(probabilities)
+    if total <= 0.0:
+        # Everyone is below target; evict in proportion to insertion pressure
+        # so the cache keeps functioning, as a real controller must.
+        total = sum(miss_fractions)
+        if total <= 0.0:
+            n = len(probabilities)
+            return [1.0 / n] * n
+        return [m / total for m in miss_fractions]
+    return [p / total for p in probabilities]
+
+
+def projected_occupancy(
+    occupancy: float,
+    miss_fraction: float,
+    eviction_probability_: float,
+    num_blocks: int,
+    interval: int,
+) -> float:
+    """``tau_i``: occupancy reached after one interval, clamped to [0, 1]."""
+    tau = occupancy + (miss_fraction - eviction_probability_) * interval / num_blocks
+    return min(1.0, max(0.0, tau))

@@ -1,0 +1,143 @@
+"""Hardware-cost model: storage overhead of each management scheme.
+
+Section 3.4 of the paper argues PriSM's hardware cost is comparable to
+way-partitioning and far below Vantage's. This module makes that argument
+quantitative: per-scheme storage estimates (in bits) as a function of the
+cache geometry and core count, following the structures each original
+paper describes. Latency/energy are out of scope — storage is what the
+papers themselves compare.
+
+Common infrastructure (charged to every partitioning scheme alike, per
+the paper: "these requirements are common to all the cache
+partitioning/management schemes"):
+
+- a core-id tag on every cache block,
+- per-core occupancy and miss counters,
+- sampled shadow tags (for schemes with an allocation policy that needs
+  stand-alone estimates).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.cache.geometry import CacheGeometry
+
+__all__ = ["SchemeCost", "common_monitor_bits", "scheme_costs"]
+
+#: Counter widths, generous and round.
+_COUNTER_BITS = 32
+#: Address-tag width assumed for shadow-tag entries.
+_SHADOW_TAG_BITS = 24
+
+
+@dataclass(frozen=True)
+class SchemeCost:
+    """Storage breakdown for one scheme (bits)."""
+
+    name: str
+    per_block_bits: float      # state added to every cache block
+    global_bits: float         # registers, counters, selector state
+    monitor_bits: float        # shadow tags / UMON arrays
+
+    @property
+    def total_bits(self) -> float:
+        num = self.per_block_bits + self.global_bits + self.monitor_bits
+        return num
+
+    def total_kib(self) -> float:
+        return self.total_bits / 8 / 1024
+
+
+def _core_id_bits(num_cores: int) -> int:
+    return max(1, math.ceil(math.log2(num_cores)))
+
+
+def common_monitor_bits(
+    geometry: CacheGeometry, num_cores: int, sample_ratio: int = 32
+) -> float:
+    """Sampled per-core shadow tags + position hit counters (UMON-DSS)."""
+    sampled_sets = max(1, geometry.num_sets // sample_ratio)
+    tag_array = num_cores * sampled_sets * geometry.assoc * _SHADOW_TAG_BITS
+    position_counters = num_cores * geometry.assoc * _COUNTER_BITS
+    return tag_array + position_counters
+
+
+def scheme_costs(
+    geometry: CacheGeometry,
+    num_cores: int,
+    probability_bits: int = 8,
+    sample_ratio: int = 32,
+) -> Dict[str, SchemeCost]:
+    """Storage estimates for the paper's schemes on this machine.
+
+    Args:
+        geometry: the shared LLC.
+        num_cores: sharing cores.
+        probability_bits: K for PriSM's stored probabilities (Fig. 12
+            shows 6-8 suffice).
+        sample_ratio: shadow-tag set sampling (paper: 1/32).
+    """
+    n_blocks = geometry.num_blocks
+    core_id = _core_id_bits(num_cores)
+    counters = 2 * num_cores * _COUNTER_BITS  # occupancy + misses per core
+    monitors = common_monitor_bits(geometry, num_cores, sample_ratio)
+    way_bits = max(1, math.ceil(math.log2(geometry.assoc + 1)))
+
+    costs = {}
+
+    # Every partitioning scheme tags blocks with the owning core.
+    base_block = core_id * n_blocks
+
+    costs["prism"] = SchemeCost(
+        "prism",
+        per_block_bits=base_block,
+        # K-bit probability per core + a 16-bit LFSR + interval counter.
+        global_bits=num_cores * probability_bits + 16 + _COUNTER_BITS + counters,
+        monitor_bits=monitors,
+    )
+
+    costs["waypart"] = SchemeCost(
+        "waypart",
+        per_block_bits=base_block,
+        # A way quota per core.
+        global_bits=num_cores * way_bits + counters,
+        monitor_bits=0.0,
+    )
+
+    costs["ucp"] = SchemeCost(
+        "ucp",
+        per_block_bits=base_block,
+        global_bits=num_cores * way_bits + counters,
+        monitor_bits=monitors,  # UMON
+    )
+
+    costs["pipp"] = SchemeCost(
+        "pipp",
+        per_block_bits=base_block,
+        # Per-core insertion priority + stream-detection bit.
+        global_bits=num_cores * (way_bits + 1) + 16 + counters,
+        monitor_bits=monitors,
+    )
+
+    # Vantage: per-block partition id + 8-bit timestamp + managed bit;
+    # per-partition size/target/aperture registers and setpoint timestamps.
+    costs["vantage"] = SchemeCost(
+        "vantage",
+        per_block_bits=(core_id + 8 + 1) * n_blocks,
+        global_bits=num_cores * (3 * _COUNTER_BITS + 8) + counters,
+        monitor_bits=monitors,
+    )
+
+    # DIP-class: PSEL(s) only; TA-DIP has one per core.
+    costs["dip"] = SchemeCost(
+        "dip", per_block_bits=0.0, global_bits=10, monitor_bits=0.0
+    )
+    costs["tadip"] = SchemeCost(
+        "tadip", per_block_bits=core_id * n_blocks, global_bits=10 * num_cores,
+        monitor_bits=0.0,
+    )
+
+    return costs

@@ -1,0 +1,53 @@
+"""K-bit fixed-point representation of eviction probabilities.
+
+Section 5.6 ("Bits required for Eviction-probability") shows that storing
+``E_i`` as 6-12-bit integers performs like the floating-point reference.
+:func:`quantize_distribution` models the hardware's storage: each entry is
+rounded to a ``bits``-wide integer numerator over ``2**bits - 1``, then the
+sampled distribution is the renormalised dequantised vector.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+__all__ = ["quantize_distribution", "dequantize"]
+
+
+def quantize_distribution(probabilities: Sequence[float], bits: int) -> List[int]:
+    """Round a probability vector to ``bits``-wide integer numerators.
+
+    Rounding is to-nearest; a vector whose every entry rounds to zero gets
+    its largest entry forced to 1 so the hardware always has someone to
+    evict.
+
+    Raises:
+        ValueError: for a non-positive bit width or probabilities outside
+            [0, 1].
+    """
+    if bits < 1:
+        raise ValueError(f"bits must be >= 1, got {bits}")
+    scale = (1 << bits) - 1
+    levels = []
+    for p in probabilities:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"probability {p!r} outside [0, 1]")
+        levels.append(int(round(p * scale)))
+    if probabilities and sum(levels) == 0:
+        largest = max(range(len(levels)), key=lambda i: probabilities[i])
+        levels[largest] = 1
+    return levels
+
+
+def dequantize(levels: Sequence[int], bits: int) -> List[float]:
+    """Back to a normalised float distribution (uniform if all-zero)."""
+    if bits < 1:
+        raise ValueError(f"bits must be >= 1, got {bits}")
+    scale = (1 << bits) - 1
+    if any(level < 0 or level > scale for level in levels):
+        raise ValueError(f"levels {levels!r} outside [0, {scale}]")
+    total = sum(levels)
+    if total == 0:
+        n = len(levels)
+        return [1.0 / n] * n if n else []
+    return [level / total for level in levels]

@@ -1,0 +1,26 @@
+"""CPU timing substrate: per-core models, DRAM contention, multicore driver.
+
+The substitution for the paper's M5 out-of-order cores (DESIGN.md §2):
+each core is a trace-driven timing model whose CPI decomposes into a base
+component, an exposed LLC-hit component, and an exposed miss component
+divided by the program's memory-level parallelism. Cores interleave on a
+global cycle clock through an event queue, so memory-intensive programs
+issue proportionally more LLC accesses per unit time — the rate-matching
+that makes shared-cache contention (and the paper's interval statistics)
+meaningful.
+"""
+
+from repro.cpu.core_model import CoreTimingModel
+from repro.cpu.l1 import L1Cache
+from repro.cpu.memory import MemoryModel
+from repro.cpu.system import CoreResult, MultiCoreSystem, SystemResult, run_standalone
+
+__all__ = [
+    "CoreTimingModel",
+    "L1Cache",
+    "MemoryModel",
+    "MultiCoreSystem",
+    "SystemResult",
+    "CoreResult",
+    "run_standalone",
+]

@@ -1,0 +1,58 @@
+"""DRAM latency and memory-controller contention.
+
+A deliberately coarse model — the paper's results hinge on LLC hit/miss
+counts, not DRAM microarchitecture — but it captures the one effect the
+motivation section needs: with more cores behind the same controllers,
+queueing inflates miss latency, so cache misses hurt more at higher core
+counts. Requests hash across ``num_controllers`` controllers (the paper
+scales 1/2/4/8 with core count, Table 2); each controller serves one
+request every ``service_cycles``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = ["MemoryModel"]
+
+
+class MemoryModel:
+    """Bank-of-controllers queueing model.
+
+    Args:
+        num_controllers: parallel memory controllers.
+        base_latency: unloaded DRAM round-trip, in core cycles.
+        service_cycles: controller occupancy per request (inverse bandwidth).
+    """
+
+    def __init__(
+        self, num_controllers: int = 1, base_latency: float = 200.0, service_cycles: float = 24.0
+    ) -> None:
+        if num_controllers < 1:
+            raise ValueError(f"num_controllers must be >= 1, got {num_controllers}")
+        if base_latency <= 0 or service_cycles <= 0:
+            raise ValueError("latencies must be positive")
+        self.num_controllers = num_controllers
+        self.base_latency = base_latency
+        self.service_cycles = service_cycles
+        self._busy_until: List[float] = [0.0] * num_controllers
+        self.requests = 0
+        self.total_queue_delay = 0.0
+
+    def miss_latency(self, block_addr: int, now: float) -> float:
+        """Latency of a miss issued at cycle ``now`` to ``block_addr``.
+
+        Returns the total latency (queueing + DRAM) and advances the
+        owning controller's busy horizon.
+        """
+        controller = block_addr % self.num_controllers
+        start = max(now, self._busy_until[controller])
+        self._busy_until[controller] = start + self.service_cycles
+        queue_delay = start - now
+        self.requests += 1
+        self.total_queue_delay += queue_delay
+        return queue_delay + self.base_latency
+
+    def mean_queue_delay(self) -> float:
+        """Average queueing delay per request so far."""
+        return self.total_queue_delay / self.requests if self.requests else 0.0

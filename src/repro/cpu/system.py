@@ -1,0 +1,301 @@
+"""The multicore system driver.
+
+:class:`MultiCoreSystem` interleaves per-core access streams over the
+shared cache on a global cycle clock (an event queue ordered by each
+core's next-ready cycle), models DRAM contention, and doubles as the
+performance-counter provider for allocation policies that need CPI/IPC
+(PriSM-F and PriSM-Q read *interval* counters, rolled every allocation
+interval).
+
+Methodology mirrors the paper: every program runs until it retires its
+instruction target; programs that finish early keep executing (their
+streams keep generating cache pressure) but their reported statistics are
+frozen at the finish line — "statistics are reported only for the first
+500M/200M instructions for each program".
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.cache.cache import SharedCache
+from repro.cache.geometry import CacheGeometry
+from repro.cache.replacement.base import ReplacementPolicy
+from repro.cache.replacement.lru import LRUPolicy
+from repro.cpu.core_model import CoreTimingModel
+from repro.cpu.memory import MemoryModel
+from repro.util.rng import derive_seed
+from repro.workloads.benchmark import BenchmarkProfile
+
+__all__ = ["MultiCoreSystem", "SystemResult", "CoreResult", "run_standalone"]
+
+#: Address-space stride between cores; a power of two far above any
+#: footprint, and a multiple of every set count, so per-core streams map
+#: uniformly over sets but never collide.
+_CORE_ADDRESS_STRIDE = 1 << 36
+
+
+@dataclass
+class CoreResult:
+    """Reported figures for one core (frozen at its finish line)."""
+
+    name: str
+    ipc: float
+    cpi: float
+    llc_stall_cpi: float
+    instructions: int
+    cycles: float
+    hits: int
+    misses: int
+    occupancy_at_finish: float
+
+
+@dataclass
+class SystemResult:
+    """Outcome of one multiprogrammed run."""
+
+    cores: List[CoreResult]
+    scheme_name: str
+    total_accesses: int
+    intervals: int
+    extra: dict = field(default_factory=dict)
+
+    def ipcs(self) -> List[float]:
+        return [c.ipc for c in self.cores]
+
+
+class _IntervalListener:
+    """Cache monitor that rolls the system's interval counter snapshots."""
+
+    __slots__ = ("system",)
+
+    def __init__(self, system: "MultiCoreSystem") -> None:
+        self.system = system
+
+    def observe(self, core: int, set_index: int, tag: int, hit: bool) -> None:
+        pass
+
+    def end_interval(self) -> None:
+        self.system.roll_interval_snapshots()
+
+
+class MultiCoreSystem:
+    """A machine: cores + streams + shared LLC + memory controllers.
+
+    Args:
+        cache: the shared cache (with its scheme already attached, or
+            attach one later via ``cache.set_scheme``).
+        profiles: one benchmark profile per core.
+        seed: top-level seed; per-core stream seeds derive from it.
+        scale: workload footprint scale (1.0 = the reference calibration).
+        llc_hit_latency: exposed cycles per LLC hit.
+        memory: DRAM model; defaults to one controller.
+        l1_geometry: when set, each core gets a private L1 of this
+            geometry that filters its stream before the shared LLC. Leave
+            ``None`` (the default) for the catalog workloads — their
+            streams are calibrated as post-L1 reference streams; enable it
+            when replaying raw (unfiltered) traces.
+        l1_hit_latency: exposed cycles per L1 hit.
+        inclusive: enforce an inclusive hierarchy — an LLC eviction
+            back-invalidates the victim block in its owner's L1 (only
+            meaningful with ``l1_geometry``).
+
+    The system registers itself as the scheme's performance-counter
+    provider when the scheme exposes a ``perf`` attribute (PriSM does).
+    """
+
+    def __init__(
+        self,
+        cache: SharedCache,
+        profiles: Sequence[BenchmarkProfile],
+        seed: int = 0,
+        scale: float = 1.0,
+        llc_hit_latency: float = 8.0,
+        memory: Optional[MemoryModel] = None,
+        l1_geometry=None,
+        l1_hit_latency: float = 2.0,
+        inclusive: bool = False,
+    ) -> None:
+        if len(profiles) != cache.num_cores:
+            raise ValueError(
+                f"cache has {cache.num_cores} cores but {len(profiles)} profiles given"
+            )
+        self.cache = cache
+        self.profiles = list(profiles)
+        self.memory = memory if memory is not None else MemoryModel()
+        self.cores = [
+            CoreTimingModel(i, p, llc_hit_latency=llc_hit_latency)
+            for i, p in enumerate(profiles)
+        ]
+        self.streams = [
+            p.stream(seed=derive_seed(seed, "stream", i, p.name), scale=scale)
+            for i, p in enumerate(profiles)
+        ]
+        if l1_geometry is not None:
+            from repro.cpu.l1 import L1Cache
+
+            self.l1s = [L1Cache(l1_geometry) for _ in range(cache.num_cores)]
+        else:
+            self.l1s = None
+        self.l1_hit_latency = l1_hit_latency
+        self.inclusive = inclusive and self.l1s is not None
+        self._snap_cycles = [0.0] * cache.num_cores
+        self._snap_instructions = [0] * cache.num_cores
+        self._snap_stall = [0.0] * cache.num_cores
+        self.total_accesses = 0
+        cache.add_monitor(_IntervalListener(self))
+        if cache.scheme is not None and hasattr(cache.scheme, "perf"):
+            cache.scheme.perf = self
+
+    # -- performance-counter provider (interval granularity) ----------------
+
+    def roll_interval_snapshots(self) -> None:
+        """Advance the interval baselines (called at each interval end)."""
+        for i, core in enumerate(self.cores):
+            self._snap_cycles[i] = core.cycles
+            self._snap_instructions[i] = core.instructions
+            self._snap_stall[i] = core.llc_stall_cycles
+
+    def cpi(self, core: int) -> float:
+        """CPI of ``core`` over the current interval (0 if it retired nothing)."""
+        instructions = self.cores[core].instructions - self._snap_instructions[core]
+        if instructions <= 0:
+            return 0.0
+        return (self.cores[core].cycles - self._snap_cycles[core]) / instructions
+
+    def ipc(self, core: int) -> float:
+        """IPC of ``core`` over the current interval."""
+        cycles = self.cores[core].cycles - self._snap_cycles[core]
+        if cycles <= 0.0:
+            return 0.0
+        return (self.cores[core].instructions - self._snap_instructions[core]) / cycles
+
+    def llc_stall_cpi(self, core: int) -> float:
+        """LLC-miss stall CPI of ``core`` over the current interval."""
+        instructions = self.cores[core].instructions - self._snap_instructions[core]
+        if instructions <= 0:
+            return 0.0
+        return (self.cores[core].llc_stall_cycles - self._snap_stall[core]) / instructions
+
+    # -- simulation -----------------------------------------------------------
+
+    def run(self, instructions_per_core: int, max_accesses: Optional[int] = None) -> SystemResult:
+        """Run until every core retires ``instructions_per_core``.
+
+        Args:
+            instructions_per_core: the per-program instruction target.
+            max_accesses: safety valve; raises if the target is not reached
+                within this many total accesses (default: no limit).
+
+        Returns:
+            A :class:`SystemResult` with per-core reported figures.
+        """
+        if instructions_per_core < 1:
+            raise ValueError(
+                f"instructions_per_core must be >= 1, got {instructions_per_core}"
+            )
+        cache = self.cache
+        memory = self.memory
+        occupancy_at_finish = [0.0] * cache.num_cores
+        unfinished = sum(1 for c in self.cores if not c.finished)
+        heap = [(core.cycles, core.core_id) for core in self.cores if not core.finished]
+        heapq.heapify(heap)
+
+        while unfinished > 0:
+            now, cid = heapq.heappop(heap)
+            core = self.cores[cid]
+            gap, addr = self.streams[cid].next_access()
+            addr += cid * _CORE_ADDRESS_STRIDE
+            if self.l1s is not None and self.l1s[cid].access(addr):
+                core.advance_local(gap, self.l1_hit_latency)
+                if not core.finished and core.instructions >= instructions_per_core:
+                    core.mark_finished()
+                    occupancy_at_finish[cid] = (
+                        cache.occupancy[cid] / cache.geometry.num_blocks
+                    )
+                    unfinished -= 1
+                    if unfinished == 0:
+                        break
+                heapq.heappush(heap, (core.cycles, cid))
+                continue
+            result = cache.access(cid, addr)
+            self.total_accesses += 1
+            if self.inclusive and result.evicted_core >= 0:
+                self.l1s[result.evicted_core].invalidate(result.evicted_addr)
+            if result.hit:
+                core.advance(gap, True)
+            else:
+                issue_time = now + gap * core.profile.cpi_base
+                core.advance(gap, False, memory.miss_latency(addr, issue_time))
+            if not core.finished and core.instructions >= instructions_per_core:
+                core.mark_finished()
+                occupancy_at_finish[cid] = (
+                    cache.occupancy[cid] / cache.geometry.num_blocks
+                )
+                unfinished -= 1
+                if unfinished == 0:
+                    break
+            heapq.heappush(heap, (core.cycles, cid))
+            if max_accesses is not None and self.total_accesses > max_accesses:
+                raise RuntimeError(
+                    f"exceeded {max_accesses} accesses with {unfinished} cores unfinished"
+                )
+
+        return self._collect(occupancy_at_finish)
+
+    def _collect(self, occupancy_at_finish: List[float]) -> SystemResult:
+        cores = []
+        for i, core in enumerate(self.cores):
+            instructions = core.finish_instructions if core.finished else core.instructions
+            cycles = core.finish_cycles if core.finished else core.cycles
+            stall_cpi = core.llc_stall_cycles / instructions if instructions else 0.0
+            cores.append(
+                CoreResult(
+                    name=self.profiles[i].name,
+                    ipc=core.ipc(),
+                    cpi=core.cpi(),
+                    llc_stall_cpi=stall_cpi,
+                    instructions=instructions,
+                    cycles=cycles,
+                    hits=self.cache.stats.hits[i],
+                    misses=self.cache.stats.misses[i],
+                    occupancy_at_finish=occupancy_at_finish[i],
+                )
+            )
+        scheme = self.cache.scheme
+        return SystemResult(
+            cores=cores,
+            scheme_name=getattr(scheme, "name_with_policy", None)
+            or getattr(scheme, "name", "unmanaged"),
+            total_accesses=self.total_accesses,
+            intervals=self.cache.intervals_completed,
+        )
+
+
+def run_standalone(
+    profile: BenchmarkProfile,
+    geometry: CacheGeometry,
+    instructions: int,
+    policy_factory: Callable[[], ReplacementPolicy] = LRUPolicy,
+    num_controllers: int = 1,
+    seed: int = 0,
+    scale: float = 1.0,
+    llc_hit_latency: float = 8.0,
+) -> CoreResult:
+    """Run one program alone on the whole cache (the ``IPC^SP`` runs).
+
+    The stand-alone machine keeps the shared configuration's memory
+    controllers, matching how the paper obtains per-program baselines.
+    """
+    cache = SharedCache(geometry, num_cores=1, policy=policy_factory())
+    system = MultiCoreSystem(
+        cache,
+        [profile],
+        seed=seed,
+        scale=scale,
+        llc_hit_latency=llc_hit_latency,
+        memory=MemoryModel(num_controllers=num_controllers),
+    )
+    return system.run(instructions).cores[0]

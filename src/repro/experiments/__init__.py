@@ -1,0 +1,20 @@
+"""Experiment harness: configurations, runner, and per-figure reproductions.
+
+Each paper figure/table has a module exposing ``run(...) -> rows`` and is
+registered in :mod:`repro.experiments.registry`; the ``benchmarks/`` tree
+wraps these in pytest-benchmark entry points that print paper-style rows.
+"""
+
+from repro.experiments.configs import MachineConfig, machine
+from repro.experiments.runner import WorkloadResult, run_workload, standalone_ipcs
+from repro.experiments.schemes import SCHEMES, build_scheme
+
+__all__ = [
+    "MachineConfig",
+    "machine",
+    "WorkloadResult",
+    "run_workload",
+    "standalone_ipcs",
+    "SCHEMES",
+    "build_scheme",
+]

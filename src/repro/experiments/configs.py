@@ -1,0 +1,93 @@
+"""Machine configurations: Table 2 of the paper, geometrically scaled.
+
+The paper's machines (4 GHz, 4-wide cores; LLCs of 4/8/16 MB at 16/32/64
+ways; 1/2/4/8 memory controllers) are scaled down by ``scale_factor``
+(default 64) so pure-Python simulation stays tractable: occupancy and
+probability arithmetic is all in cache *fractions*, so shrinking cache and
+working sets together preserves the contention structure (DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.geometry import CacheGeometry
+from repro.util.validate import check_power_of_two
+
+__all__ = ["MachineConfig", "machine", "PAPER_LLC"]
+
+#: Paper Table 2: core count -> (LLC bytes, associativity, controllers).
+PAPER_LLC = {
+    4: (4 << 20, 16, 1),
+    8: (4 << 20, 16, 2),
+    16: (8 << 20, 32, 4),
+    32: (16 << 20, 64, 8),
+}
+
+#: Default per-core instruction targets at the default scale (the paper's
+#: 500M for 4/8 cores and 200M for 16/32 cores, scaled to minutes of
+#: Python time).
+DEFAULT_INSTRUCTIONS = {4: 2_000_000, 8: 1_500_000, 16: 1_000_000, 32: 600_000}
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """A simulated machine.
+
+    Attributes:
+        num_cores: cores sharing the LLC.
+        geometry: the (scaled) LLC geometry.
+        num_controllers: memory controllers.
+        instructions: default per-core instruction target.
+        workload_scale: footprint multiplier applied to benchmark zones
+            (1.0 = the catalog's reference calibration).
+    """
+
+    num_cores: int
+    geometry: CacheGeometry
+    num_controllers: int
+    instructions: int
+    workload_scale: float = 1.0
+
+    def __str__(self) -> str:
+        return (
+            f"{self.num_cores}core/{self.geometry}/"
+            f"{self.num_controllers}mc/{self.instructions}instr"
+        )
+
+
+def machine(
+    num_cores: int,
+    scale_factor: int = 64,
+    instructions: int = None,
+    assoc: int = None,
+    llc_bytes: int = None,
+) -> MachineConfig:
+    """Build the Table-2 machine for ``num_cores``, scaled down.
+
+    Args:
+        num_cores: 4, 8, 16 or 32 (the paper's configurations).
+        scale_factor: power-of-two capacity divisor (64 -> 64 KB-256 KB LLCs).
+        instructions: per-core instruction target override.
+        assoc: associativity override (Fig. 1(b)'s 64/256-way sweeps,
+            Fig. 6's 16-way-at-16-cores configuration).
+        llc_bytes: unscaled LLC capacity override (Fig. 6 uses 8 MB).
+    """
+    if num_cores not in PAPER_LLC:
+        raise ValueError(f"num_cores must be one of {sorted(PAPER_LLC)}, got {num_cores}")
+    check_power_of_two("scale_factor", scale_factor)
+    size, table_assoc, controllers = PAPER_LLC[num_cores]
+    if llc_bytes is not None:
+        size = llc_bytes
+    if assoc is None:
+        assoc = table_assoc
+    geometry = CacheGeometry(size // scale_factor, block_bytes=64, assoc=assoc)
+    if instructions is None:
+        instructions = DEFAULT_INSTRUCTIONS[num_cores]
+    return MachineConfig(
+        num_cores=num_cores,
+        geometry=geometry,
+        num_controllers=controllers,
+        instructions=instructions,
+        workload_scale=1.0,
+    )

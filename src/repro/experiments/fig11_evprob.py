@@ -1,0 +1,60 @@
+"""Figure 11 — Stability of eviction probabilities under PriSM-H (quad).
+
+Per-benchmark mean and standard deviation of ``E_i`` across all interval
+recomputations. The paper's point: the standard deviation is small — the
+probabilities settle, so the control loop is stable rather than thrashing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.experiments.common import Progress, format_table
+from repro.experiments.configs import machine
+from repro.experiments.runner import run_workload
+from repro.workloads.mixes import mixes_for_cores
+
+__all__ = ["run", "format_result"]
+
+
+def run(
+    instructions: Optional[int] = None,
+    mixes: Optional[List[str]] = None,
+    seed: int = 0,
+    progress: Progress = None,
+) -> Dict:
+    config = machine(4)
+    mix_names = mixes or mixes_for_cores(4)
+    rows = []
+    recompute_counts = []
+    for mix in mix_names:
+        if progress:
+            progress(f"{mix} / prism-h")
+        result = run_workload(mix, config, "prism-h", seed=seed, instructions=instructions)
+        stats = result.extra["probability_stats"]
+        recompute_counts.append(result.intervals)
+        for core, name in enumerate(result.benchmarks):
+            rows.append(
+                {
+                    "mix": mix,
+                    "benchmark": name,
+                    "mean": stats[core]["mean"],
+                    "std": stats[core]["std"],
+                }
+            )
+    return {
+        "id": "fig11",
+        "rows": rows,
+        "recomputations_min": min(recompute_counts) if recompute_counts else 0,
+        "recomputations_max": max(recompute_counts) if recompute_counts else 0,
+    }
+
+
+def format_result(result: Dict) -> str:
+    table = [[r["mix"], r["benchmark"], r["mean"], r["std"]] for r in result["rows"]]
+    return (
+        "Figure 11: eviction-probability mean/std per benchmark (quad-core PriSM-H); "
+        f"recomputations per mix: {result['recomputations_min']}-"
+        f"{result['recomputations_max']}\n"
+        + format_table(["mix", "benchmark", "mean", "std"], table, width=14)
+    )

@@ -1,0 +1,117 @@
+"""Seed sweeps: run-to-run noise quantification.
+
+The simulator is deterministic per seed, but conclusions should not hinge
+on one seed's PRNG path (stream draws, PriSM's core-selection, DIP's
+bimodal throws). :func:`run_seeds` repeats a workload across seeds and
+reports mean, standard deviation, and a Student-t confidence interval for
+each metric — the error bars behind every comparison in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.configs import MachineConfig
+from repro.experiments.runner import WorkloadResult, run_workload
+
+__all__ = ["MetricSummary", "SeedSweep", "run_seeds", "compare_with_confidence"]
+
+_METRICS = ("antt", "fairness", "throughput", "weighted_speedup")
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Mean/σ/CI of one metric across seeds."""
+
+    mean: float
+    std: float
+    ci_low: float
+    ci_high: float
+    n: int
+
+    def overlaps(self, other: "MetricSummary") -> bool:
+        """Whether the two confidence intervals overlap."""
+        return self.ci_low <= other.ci_high and other.ci_low <= self.ci_high
+
+
+@dataclass
+class SeedSweep:
+    """All per-seed results plus per-metric summaries."""
+
+    mix: str
+    scheme: str
+    results: List[WorkloadResult]
+    metrics: Dict[str, MetricSummary] = field(default_factory=dict)
+
+
+def _summarise(values: Sequence[float], confidence: float) -> MetricSummary:
+    n = len(values)
+    mean = sum(values) / n
+    if n < 2:
+        return MetricSummary(mean, 0.0, mean, mean, n)
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    std = math.sqrt(variance)
+    from scipy import stats
+
+    t = stats.t.ppf(0.5 + confidence / 2, df=n - 1)
+    half = t * std / math.sqrt(n)
+    return MetricSummary(mean, std, mean - half, mean + half, n)
+
+
+def run_seeds(
+    mix,
+    config: MachineConfig,
+    scheme: str,
+    seeds: Sequence[int] = (0, 1, 2, 3, 4),
+    instructions: Optional[int] = None,
+    scheme_kwargs: Optional[dict] = None,
+    confidence: float = 0.95,
+) -> SeedSweep:
+    """Run one (mix, scheme) across several seeds and summarise.
+
+    Raises:
+        ValueError: if no seeds are given.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    results = [
+        run_workload(
+            mix,
+            config,
+            scheme,
+            seed=seed,
+            instructions=instructions,
+            scheme_kwargs=scheme_kwargs,
+        )
+        for seed in seeds
+    ]
+    sweep = SeedSweep(mix=results[0].mix, scheme=scheme, results=results)
+    for metric in _METRICS:
+        values = [getattr(r, metric) for r in results]
+        sweep.metrics[metric] = _summarise(values, confidence)
+    return sweep
+
+
+def compare_with_confidence(
+    mix,
+    config: MachineConfig,
+    scheme_a: str,
+    scheme_b: str,
+    seeds: Sequence[int] = (0, 1, 2, 3, 4),
+    metric: str = "antt",
+    instructions: Optional[int] = None,
+) -> Tuple[SeedSweep, SeedSweep, bool]:
+    """Run two schemes across seeds; report whether A beats B decisively.
+
+    Returns:
+        ``(sweep_a, sweep_b, significant)`` where ``significant`` means the
+        confidence intervals of ``metric`` do not overlap (with ANTT's
+        lower-is-better orientation handled by the caller — this function
+        only reports separation).
+    """
+    sweep_a = run_seeds(mix, config, scheme_a, seeds, instructions=instructions)
+    sweep_b = run_seeds(mix, config, scheme_b, seeds, instructions=instructions)
+    separated = not sweep_a.metrics[metric].overlaps(sweep_b.metrics[metric])
+    return sweep_a, sweep_b, separated

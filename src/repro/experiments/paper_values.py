@@ -1,0 +1,73 @@
+"""The paper's reported numbers, as structured data.
+
+Single source of truth for every quantitative claim in the paper's
+evaluation that this repository checks against (the "Paper reports"
+column of EXPERIMENTS.md). Kept as data so benches, tests, and reports
+can reference the same values without copy-paste drift.
+
+Values are transcribed from the paper text; figure-only results without
+stated numbers are summarised as trends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+__all__ = ["PaperClaim", "PAPER_CLAIMS", "claims_for"]
+
+
+@dataclass(frozen=True)
+class PaperClaim:
+    """One quantitative claim from the paper."""
+
+    experiment: str           # registry id (fig1..fig13, sec56)
+    metric: str               # short slug
+    value: Optional[float]    # the number, if the paper states one
+    text: str                 # the claim as the paper words it
+
+
+PAPER_CLAIMS: Tuple[PaperClaim, ...] = (
+    PaperClaim("fig1", "ucp-degrades", None,
+               "With larger core counts the performance benefits provided over "
+               "LRU by UCP and PIPP reduces; PIPP performs worse than LRU at 32 cores"),
+    PaperClaim("fig1", "fairness-degrades", None,
+               "Going from 4 to 8 and then 16 cores reduces the overall fairness"),
+    PaperClaim("fig1", "assoc-helps-ucp", None,
+               "Increasing associativity and the resultant finer-grained control "
+               "helps improve the performance of UCP"),
+    PaperClaim("fig2", "prism-h-vs-lru-4c", 0.179, "PriSM-H gains 17.9% over LRU at 4 cores"),
+    PaperClaim("fig2", "prism-h-vs-lru-8c", 0.165, "PriSM-H gains 16.5% over LRU at 8 cores"),
+    PaperClaim("fig2", "prism-h-vs-lru-16c", 0.187, "PriSM-H gains 18.7% over LRU at 16 cores"),
+    PaperClaim("fig2", "prism-h-vs-lru-32c", 0.127, "PriSM-H gains 12.7% over LRU at 32 cores"),
+    PaperClaim("fig3", "q7-gain", 0.50, "Q7 shows as much as 50% gain over LRU"),
+    PaperClaim("fig5", "prism-beats-waypart", None,
+               "PriSM outperforms way-partitioning in all the sixteen core workloads"),
+    PaperClaim("fig6", "cores-eq-ways-gain", 0.148,
+               "Average gain of 14.8% over LRU with 16 cores on a 16-way cache"),
+    PaperClaim("fig7", "vs-vantage-4c", 0.078, "PriSM beats Vantage by 7.8% on quad-core"),
+    PaperClaim("fig7", "vs-vantage-16c", 0.118, "PriSM beats Vantage by 11.8% on 16-core"),
+    PaperClaim("fig8", "miss-reduction", None,
+               "PriSM reduces misses for at least three of the four benchmarks "
+               "in all the quad-core workloads"),
+    PaperClaim("fig9", "fairness-vs-waypart-16c", 0.233,
+               "PriSM-F improves fairness by 23.3% over way-partitioning at 16 cores"),
+    PaperClaim("fig9", "fairness-perf-bonus", 0.19,
+               "PriSM-F improves performance by 19% compared to LRU"),
+    PaperClaim("fig10", "qos-achievement", 38 / 41,
+               "QoS targets achieved in 38 out of 41 workloads"),
+    PaperClaim("fig11", "stability", None,
+               "The measured standard deviation in the eviction probabilities is low"),
+    PaperClaim("fig11", "recomputations-min", 199.0,
+               "Probabilities are recomputed between 199 (Q2) and 1175 (Q5) times"),
+    PaperClaim("fig12", "kbit-equivalence", None,
+               "Performance with 6, 8, 10 and 12 bits is very similar to floating point"),
+    PaperClaim("fig13", "notfound-32k", 0.038, "3.8% of replacements at 32K-miss intervals"),
+    PaperClaim("fig13", "notfound-128k", 0.025, "2.5% of replacements at 128K-miss intervals"),
+    PaperClaim("sec56", "prism-over-dip", 0.089, "PriSM-H over DIP improves performance by 8.9%"),
+)
+
+
+def claims_for(experiment: str) -> Tuple[PaperClaim, ...]:
+    """All claims tied to one experiment id."""
+    return tuple(c for c in PAPER_CLAIMS if c.experiment == experiment)

@@ -1,0 +1,200 @@
+"""Workload runner: stand-alone baselines + shared runs + metrics.
+
+``run_workload`` is the single entry point every figure reproduction uses:
+it resolves a mix, obtains per-program stand-alone IPCs (cached — the
+``IPC^SP`` runs are scheme-independent given a baseline policy), runs the
+shared machine under the requested scheme, and reports the paper's
+metrics. Stand-alone runs use the same baseline replacement policy as the
+scheme under test (timestamp LRU for the Vantage comparison, DIP for the
+Section 5.6 study), matching the paper's normalisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.cache.cache import SharedCache
+from repro.cpu.memory import MemoryModel
+from repro.cpu.system import CoreResult, MultiCoreSystem, run_standalone
+from repro.experiments.configs import MachineConfig
+from repro.experiments.schemes import build_scheme
+from repro.metrics import antt, fairness, ipc_throughput, weighted_speedup
+from repro.util.rng import derive_seed
+from repro.workloads.benchmark import BenchmarkProfile
+from repro.workloads.mixes import get_mix
+from repro.workloads.spec import get_profile
+
+__all__ = ["WorkloadResult", "run_workload", "standalone_ipcs", "clear_standalone_cache"]
+
+#: (profile, geometry, policy-kind, controllers, instructions) -> IPC.
+_STANDALONE_CACHE: Dict[tuple, float] = {}
+
+
+def clear_standalone_cache() -> None:
+    """Drop memoised stand-alone IPCs (tests use this for isolation)."""
+    _STANDALONE_CACHE.clear()
+
+
+@dataclass
+class WorkloadResult:
+    """Everything a figure reproduction needs from one shared run."""
+
+    mix: str
+    scheme: str
+    benchmarks: List[str]
+    cores: List[CoreResult]
+    standalone: List[float]
+    antt: float
+    fairness: float
+    throughput: float
+    weighted_speedup: float
+    intervals: int
+    extra: dict = field(default_factory=dict)
+
+    def shared_ipcs(self) -> List[float]:
+        return [c.ipc for c in self.cores]
+
+    def misses(self) -> List[int]:
+        return [c.misses for c in self.cores]
+
+    def slowdown(self, core: int) -> float:
+        """``IPC^MP / IPC^SP`` of one core (1 = no slowdown)."""
+        return self.cores[core].ipc / self.standalone[core]
+
+
+def _resolve_mix(mix: Union[str, Sequence]) -> tuple:
+    """Return (mix label, list of profiles)."""
+    if isinstance(mix, str):
+        names = get_mix(mix)
+        return mix, [get_profile(n) for n in names]
+    profiles = []
+    for item in mix:
+        profiles.append(item if isinstance(item, BenchmarkProfile) else get_profile(item))
+    return "custom", profiles
+
+
+def _standalone_policy_key(policy) -> str:
+    """Cache key component for the baseline policy class + salient config."""
+    return type(policy).__name__
+
+
+def standalone_ipcs(
+    profiles: Sequence[BenchmarkProfile],
+    config: MachineConfig,
+    scheme: str = "lru",
+    instructions: Optional[int] = None,
+) -> List[float]:
+    """Per-program ``IPC^SP`` on the full cache (memoised).
+
+    The stand-alone machine uses the full LLC of ``config``, its memory
+    controllers, and the baseline policy the ``scheme`` registry entry
+    pairs with the scheme under test.
+    """
+    instructions = instructions or config.instructions
+    results = []
+    for profile in profiles:
+        # A fresh policy instance per run (policies are stateful).
+        _, policy = build_scheme(scheme, 1, [1.0])
+        key = (
+            profile.name,
+            config.geometry,
+            _standalone_policy_key(policy),
+            config.num_controllers,
+            instructions,
+            config.workload_scale,
+        )
+        if key not in _STANDALONE_CACHE:
+            core = run_standalone(
+                profile,
+                config.geometry,
+                instructions,
+                policy_factory=lambda policy=policy: policy,
+                num_controllers=config.num_controllers,
+                seed=derive_seed(777, "standalone", profile.name),
+                scale=config.workload_scale,
+            )
+            _STANDALONE_CACHE[key] = core.ipc
+        results.append(_STANDALONE_CACHE[key])
+    return results
+
+
+def _collect_extras(scheme_obj) -> dict:
+    """Pull scheme-specific diagnostics for the analysis figures."""
+    extra = {}
+    if scheme_obj is None:
+        return extra
+    if hasattr(scheme_obj, "victim_not_found_rate"):
+        extra["victim_not_found_rate"] = scheme_obj.victim_not_found_rate()
+    if hasattr(scheme_obj, "probability_stats"):
+        extra["probability_stats"] = scheme_obj.probability_stats()
+    if hasattr(scheme_obj, "eviction_probabilities"):
+        extra["eviction_probabilities"] = list(scheme_obj.eviction_probabilities)
+    if hasattr(scheme_obj, "forced_evictions"):
+        extra["forced_evictions"] = scheme_obj.forced_evictions
+        extra["demotions"] = scheme_obj.demotions
+    if hasattr(scheme_obj, "quotas"):
+        extra["quotas"] = list(scheme_obj.quotas)
+    if hasattr(scheme_obj, "targets"):
+        extra["targets"] = list(scheme_obj.targets)
+    return extra
+
+
+def run_workload(
+    mix: Union[str, Sequence],
+    config: MachineConfig,
+    scheme: str = "lru",
+    seed: int = 0,
+    instructions: Optional[int] = None,
+    scheme_kwargs: Optional[dict] = None,
+) -> WorkloadResult:
+    """Run one mix under one scheme and report the paper's metrics.
+
+    Args:
+        mix: a mix name (``"Q7"``), or a sequence of benchmark
+            names/profiles.
+        config: the machine (see :func:`repro.experiments.configs.machine`).
+        scheme: registry name (see :data:`repro.experiments.schemes.SCHEMES`).
+        seed: top-level seed for streams and scheme PRNGs.
+        instructions: per-core target override.
+        scheme_kwargs: forwarded to the scheme factory (e.g.
+            ``{"probability_bits": 6}`` or ``{"target_ipc_fraction": 0.8}``).
+    """
+    label, profiles = _resolve_mix(mix)
+    if len(profiles) != config.num_cores:
+        raise ValueError(
+            f"mix {label!r} has {len(profiles)} programs but the machine has "
+            f"{config.num_cores} cores"
+        )
+    instructions = instructions or config.instructions
+    sp_ipcs = standalone_ipcs(profiles, config, scheme=scheme, instructions=instructions)
+
+    scheme_obj, policy = build_scheme(
+        scheme, config.num_cores, sp_ipcs, **(scheme_kwargs or {})
+    )
+    cache = SharedCache(config.geometry, config.num_cores, policy=policy)
+    if scheme_obj is not None:
+        cache.set_scheme(scheme_obj)
+    system = MultiCoreSystem(
+        cache,
+        profiles,
+        seed=derive_seed(seed, "shared", label, scheme),
+        scale=config.workload_scale,
+        memory=MemoryModel(num_controllers=config.num_controllers),
+    )
+    result = system.run(instructions)
+
+    mp_ipcs = [c.ipc for c in result.cores]
+    return WorkloadResult(
+        mix=label,
+        scheme=scheme,
+        benchmarks=[p.name for p in profiles],
+        cores=result.cores,
+        standalone=sp_ipcs,
+        antt=antt(sp_ipcs, mp_ipcs),
+        fairness=fairness(sp_ipcs, mp_ipcs),
+        throughput=ipc_throughput(mp_ipcs),
+        weighted_speedup=weighted_speedup(sp_ipcs, mp_ipcs),
+        intervals=result.intervals,
+        extra=_collect_extras(scheme_obj),
+    )

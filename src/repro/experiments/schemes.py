@@ -1,0 +1,168 @@
+"""Scheme registry: name -> how to build the scheme + baseline policy.
+
+Every experiment refers to schemes by these names; the registry keeps the
+pairing between a management scheme and the baseline replacement policy it
+must run on (e.g. the Vantage comparison pins both contenders to timestamp
+LRU, and the Section 5.6 study pins PriSM-H to DIP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.cache.replacement import (
+    DIPPolicy,
+    LRUPolicy,
+    ReplacementPolicy,
+    TimestampLRUPolicy,
+)
+from repro.core.allocation import FairnessPolicy, HitMaxPolicy, QOSPolicy, UCPExtendedPolicy
+from repro.core.prism import PrismScheme
+from repro.partitioning import (
+    FairWayPartitionScheme,
+    PIPPScheme,
+    TADIPPolicy,
+    UCPScheme,
+    VantageScheme,
+    WayPartitionScheme,
+)
+from repro.partitioning.policy_waypart import AllocationWayPartitionScheme
+
+__all__ = ["SchemeSpec", "SCHEMES", "build_scheme"]
+
+
+@dataclass(frozen=True)
+class SchemeSpec:
+    """Recipe for one scheme configuration.
+
+    Attributes:
+        name: registry key.
+        build: ``build(num_cores, standalone_ipcs, **kwargs)`` returning
+            ``(scheme_or_None, baseline_policy)``.
+        description: one-liner for reports.
+    """
+
+    name: str
+    build: Callable
+    description: str
+
+
+def _lru(num_cores: int, standalone_ipcs, **kwargs):
+    return None, LRUPolicy()
+
+
+def _prism_h(num_cores: int, standalone_ipcs, **kwargs):
+    # Allocation-policy knobs (ablations) ride along in scheme_kwargs.
+    policy = HitMaxPolicy(
+        pure=kwargs.pop("pure", False),
+        protect_cap_mult=kwargs.pop("protect_cap_mult", 1.5),
+        thrash_discount=kwargs.pop("thrash_discount", 0.25),
+    )
+    return PrismScheme(policy, **kwargs), LRUPolicy()
+
+
+def _prism_f(num_cores: int, standalone_ipcs, **kwargs):
+    return PrismScheme(FairnessPolicy(), **kwargs), LRUPolicy()
+
+
+def _prism_q(num_cores: int, standalone_ipcs, **kwargs):
+    fraction = kwargs.pop("target_ipc_fraction", 0.8)
+    qos_core = kwargs.pop("qos_core", 0)
+    if standalone_ipcs is None:
+        raise ValueError("prism-q needs stand-alone IPCs to set its target")
+    target = fraction * standalone_ipcs[qos_core]
+    return PrismScheme(QOSPolicy(target, qos_core=qos_core), **kwargs), LRUPolicy()
+
+
+def _ucp(num_cores: int, standalone_ipcs, **kwargs):
+    return UCPScheme(**kwargs), LRUPolicy()
+
+
+def _pipp(num_cores: int, standalone_ipcs, **kwargs):
+    return PIPPScheme(**kwargs), LRUPolicy()
+
+
+def _fair_waypart(num_cores: int, standalone_ipcs, **kwargs):
+    return FairWayPartitionScheme(**kwargs), LRUPolicy()
+
+
+def _waypart_static(num_cores: int, standalone_ipcs, **kwargs):
+    return WayPartitionScheme(**kwargs), LRUPolicy()
+
+
+def _waypart_hitmax(num_cores: int, standalone_ipcs, **kwargs):
+    return AllocationWayPartitionScheme(HitMaxPolicy(), **kwargs), LRUPolicy()
+
+
+def _waypart_fair_alloc(num_cores: int, standalone_ipcs, **kwargs):
+    return AllocationWayPartitionScheme(FairnessPolicy(), **kwargs), LRUPolicy()
+
+
+def _tslru(num_cores: int, standalone_ipcs, **kwargs):
+    return None, TimestampLRUPolicy()
+
+
+def _vantage(num_cores: int, standalone_ipcs, **kwargs):
+    return VantageScheme(**kwargs), TimestampLRUPolicy()
+
+
+def _prism_ucpx(num_cores: int, standalone_ipcs, **kwargs):
+    granularity = kwargs.pop("granularity", 4)
+    return (
+        PrismScheme(UCPExtendedPolicy(granularity=granularity), **kwargs),
+        TimestampLRUPolicy(),
+    )
+
+
+def _dip(num_cores: int, standalone_ipcs, **kwargs):
+    return None, DIPPolicy(**kwargs)
+
+
+def _prism_h_dip(num_cores: int, standalone_ipcs, **kwargs):
+    return PrismScheme(HitMaxPolicy(), **kwargs), DIPPolicy()
+
+
+def _tadip(num_cores: int, standalone_ipcs, **kwargs):
+    return None, TADIPPolicy(num_cores, **kwargs)
+
+
+SCHEMES: Dict[str, SchemeSpec] = {
+    spec.name: spec
+    for spec in [
+        SchemeSpec("lru", _lru, "unmanaged LRU baseline"),
+        SchemeSpec("prism-h", _prism_h, "PriSM hit-maximisation (Alg. 1)"),
+        SchemeSpec("prism-f", _prism_f, "PriSM fairness (Alg. 2)"),
+        SchemeSpec("prism-q", _prism_q, "PriSM QoS (Alg. 3)"),
+        SchemeSpec("ucp", _ucp, "UCP: UMON + lookahead over way quotas [14]"),
+        SchemeSpec("pipp", _pipp, "PIPP insertion/promotion pseudo-partitioning [20]"),
+        SchemeSpec("fair-waypart", _fair_waypart, "way-partitioning fairness [9]"),
+        SchemeSpec("waypart", _waypart_static, "static equal way quotas"),
+        SchemeSpec("waypart-hitmax", _waypart_hitmax, "Alg. 1 targets rounded to ways (Fig. 5)"),
+        SchemeSpec("waypart-fair", _waypart_fair_alloc, "Alg. 2 targets rounded to ways"),
+        SchemeSpec("tslru", _tslru, "unmanaged timestamp-LRU baseline (Fig. 7)"),
+        SchemeSpec("vantage", _vantage, "set-associative Vantage + extended UCP [17]"),
+        SchemeSpec("prism-ucpx", _prism_ucpx, "PriSM + extended UCP on timestamp LRU (Fig. 7)"),
+        SchemeSpec("dip", _dip, "unmanaged DIP baseline [13]"),
+        SchemeSpec("prism-h-dip", _prism_h_dip, "PriSM-H over DIP replacement (Sec. 5.6)"),
+        SchemeSpec("tadip", _tadip, "thread-aware DIP [7]"),
+    ]
+}
+
+
+def build_scheme(
+    name: str,
+    num_cores: int,
+    standalone_ipcs: Optional[Sequence[float]] = None,
+    **kwargs,
+):
+    """Instantiate ``(scheme_or_None, baseline_policy)`` by registry name.
+
+    Raises:
+        KeyError: for unknown scheme names (message lists known names).
+    """
+    try:
+        spec = SCHEMES[name]
+    except KeyError:
+        raise KeyError(f"unknown scheme {name!r}; known: {sorted(SCHEMES)}") from None
+    return spec.build(num_cores, standalone_ipcs, **kwargs)

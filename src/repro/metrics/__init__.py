@@ -1,0 +1,21 @@
+"""Multiprogram performance metrics (Eyerman & Eeckhout [3])."""
+
+from repro.metrics.multiprogram import (
+    antt,
+    fairness,
+    geomean,
+    harmonic_speedup,
+    ipc_throughput,
+    slowdowns,
+    weighted_speedup,
+)
+
+__all__ = [
+    "antt",
+    "fairness",
+    "geomean",
+    "harmonic_speedup",
+    "ipc_throughput",
+    "slowdowns",
+    "weighted_speedup",
+]

@@ -1,0 +1,84 @@
+"""System-level metrics for multiprogrammed workloads.
+
+Definitions follow Eyerman & Eeckhout [3] and Section 4 of the paper:
+
+- **ANTT** (lower is better): ``sum(IPC_i^SP / IPC_i^MP) / n`` — the average
+  normalised turnaround time the paper reports for hit-maximisation.
+- **Fairness** (higher is better, in [0, 1]):
+  ``min_{i,j} (IPC_i^MP/IPC_i^SP) / (IPC_j^MP/IPC_j^SP)`` — the relative gap
+  between the smallest and largest slowdown.
+- **IPC throughput**: ``sum(IPC_i^MP)`` — used by the Fig. 1(b) motivation.
+- **Weighted speedup** and **harmonic speedup** are included for
+  completeness; several of the cited baselines report them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+__all__ = [
+    "antt",
+    "fairness",
+    "geomean",
+    "harmonic_speedup",
+    "ipc_throughput",
+    "slowdowns",
+    "weighted_speedup",
+]
+
+
+def _check_pair(sp: Sequence[float], mp: Sequence[float]) -> None:
+    if len(sp) != len(mp):
+        raise ValueError(f"IPC vectors disagree: {len(sp)} stand-alone vs {len(mp)} shared")
+    if not sp:
+        raise ValueError("empty IPC vectors")
+    if any(x <= 0 for x in sp) or any(x <= 0 for x in mp):
+        raise ValueError("IPCs must be strictly positive")
+
+
+def slowdowns(standalone_ipc: Sequence[float], shared_ipc: Sequence[float]) -> List[float]:
+    """Per-program normalised progress ``IPC^MP / IPC^SP`` (1 = no slowdown)."""
+    _check_pair(standalone_ipc, shared_ipc)
+    return [mp / sp for sp, mp in zip(standalone_ipc, shared_ipc)]
+
+
+def antt(standalone_ipc: Sequence[float], shared_ipc: Sequence[float]) -> float:
+    """Average normalised turnaround time (lower is better)."""
+    _check_pair(standalone_ipc, shared_ipc)
+    n = len(standalone_ipc)
+    return sum(sp / mp for sp, mp in zip(standalone_ipc, shared_ipc)) / n
+
+
+def fairness(standalone_ipc: Sequence[float], shared_ipc: Sequence[float]) -> float:
+    """Min-over-max relative slowdown (higher is better, in (0, 1])."""
+    progress = slowdowns(standalone_ipc, shared_ipc)
+    return min(progress) / max(progress)
+
+
+def ipc_throughput(shared_ipc: Sequence[float]) -> float:
+    """Sum of IPCs (the system-throughput view of Fig. 1(b))."""
+    if not shared_ipc:
+        raise ValueError("empty IPC vector")
+    return float(sum(shared_ipc))
+
+
+def weighted_speedup(standalone_ipc: Sequence[float], shared_ipc: Sequence[float]) -> float:
+    """``sum(IPC_i^MP / IPC_i^SP)``."""
+    return float(sum(slowdowns(standalone_ipc, shared_ipc)))
+
+
+def harmonic_speedup(standalone_ipc: Sequence[float], shared_ipc: Sequence[float]) -> float:
+    """``n / sum(IPC_i^SP / IPC_i^MP)`` — balances throughput and fairness."""
+    _check_pair(standalone_ipc, shared_ipc)
+    n = len(standalone_ipc)
+    return n / sum(sp / mp for sp, mp in zip(standalone_ipc, shared_ipc))
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean (the paper's cross-workload average)."""
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires strictly positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

@@ -1,0 +1,77 @@
+"""Management-scheme interface.
+
+A scheme owns the *policy decisions* of a shared cache — who loses a block
+on a miss, where fills land, how hits promote — while delegating the
+baseline ordering to the cache's replacement policy. This is the decoupling
+the paper argues for: allocation policies (how much space each core should
+get) are separated from the enforcement mechanism (way quotas, PIPP
+insertion points, Vantage apertures, or PriSM's eviction probabilities).
+
+Schemes that reallocate periodically set ``interval_len`` (in shared-cache
+misses); the cache calls :meth:`end_interval` every ``interval_len`` misses,
+*before* interval statistics are reset.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cache.block import CacheBlock
+    from repro.cache.cache import SharedCache
+    from repro.cache.cacheset import CacheSet
+
+__all__ = ["ManagementScheme"]
+
+
+class ManagementScheme:
+    """Base scheme: defers everything to the baseline replacement policy."""
+
+    name = "base"
+    #: Misses between allocation-policy invocations; 0 disables intervals.
+    interval_len = 0
+
+    def __init__(self) -> None:
+        self.cache: Optional["SharedCache"] = None
+
+    # -- wiring -----------------------------------------------------------
+
+    def attach(self, cache: "SharedCache") -> None:
+        """Bind the scheme to ``cache`` and run scheme-specific setup."""
+        self.cache = cache
+        self.on_attach()
+
+    def on_attach(self) -> None:
+        """Scheme-specific setup; ``self.cache`` is valid here."""
+
+    # -- per-access hooks -----------------------------------------------------
+
+    def select_victim(self, cset: "CacheSet", core: int) -> "CacheBlock":
+        """Choose the victim block for a miss by ``core`` in a full set."""
+        return self.cache.policy.victim(cset)
+
+    def insertion_position(self, cset: "CacheSet", core: int) -> int:
+        """Recency position for the incoming block."""
+        return self.cache.policy.insertion_position(cset, core)
+
+    def on_hit(self, cset: "CacheSet", block: "CacheBlock", core: int) -> None:
+        """Hit behaviour; default is the baseline policy's promotion."""
+        self.cache.policy.on_hit(cset, block, core)
+
+    def on_fill(self, cset: "CacheSet", block: "CacheBlock", core: int) -> None:
+        """Post-fill hook (stamp scheme metadata on the new block)."""
+
+    # -- interval hook ---------------------------------------------------------
+
+    def end_interval(self, cache: "SharedCache") -> None:
+        """Recompute allocations; interval stats are still live here."""
+
+    # -- shared helpers ----------------------------------------------------------
+
+    def first_victim_of(self, cset: "CacheSet", cores: Iterable[int]) -> Optional["CacheBlock"]:
+        """First block in baseline eviction order owned by any of ``cores``."""
+        wanted = set(cores)
+        for block in self.cache.policy.eviction_order(cset):
+            if block.core in wanted:
+                return block
+        return None

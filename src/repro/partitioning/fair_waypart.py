@@ -1,0 +1,82 @@
+"""Fair cache sharing via way-partitioning, Kim, Chandra & Solihin [9].
+
+The fairness criterion of [9] is that every program's *miss increase* from
+stand-alone to shared execution should be equal (their ``M1``/``M3``
+metrics correlate with the execution-time slowdown the end metric cares
+about). The dynamic repartitioning algorithm runs every interval:
+
+1. estimate each core's miss ratio increase
+   ``X_i = shared_misses_i / standalone_misses_i`` with shadow tags,
+2. move one way from the core with the smallest ``X`` (slowed down least)
+   to the core with the largest ``X`` (slowed down most), provided the gap
+   exceeds a rollback threshold.
+
+This is the "Fairness [9]" bar of Figures 1(a), 2 and 9.
+"""
+
+from __future__ import annotations
+
+from repro.cache.shadow import ShadowTagMonitor
+from repro.partitioning.waypart import WayPartitionScheme
+
+__all__ = ["FairWayPartitionScheme"]
+
+
+class FairWayPartitionScheme(WayPartitionScheme):
+    """Dynamic fair repartitioning over way quotas.
+
+    Args:
+        threshold: minimum relative gap between the extreme miss-increase
+            ratios before a way moves (guards against thrashing).
+        interval_len: misses between repartitions; ``None`` uses the number
+            of cache blocks.
+        sample_shift: shadow-tag set sampling.
+    """
+
+    name = "fair-waypart"
+
+    def __init__(
+        self, threshold: float = 0.05, interval_len: int = None, sample_shift: int = 3
+    ) -> None:
+        super().__init__()
+        self.threshold = threshold
+        self._interval_override = interval_len
+        self._sample_shift = sample_shift
+        self.shadow: ShadowTagMonitor = None
+        self.repartitions = 0
+
+    def on_attach(self) -> None:
+        super().on_attach()
+        geometry = self.cache.geometry
+        self.interval_len = self._interval_override or geometry.num_blocks
+        self.shadow = ShadowTagMonitor(
+            self.cache.num_cores,
+            geometry.num_sets,
+            geometry.assoc,
+            sample_shift=self._sample_shift,
+        )
+        self.cache.add_monitor(self.shadow)
+
+    def _miss_increase(self, core: int) -> float:
+        """``X_i``: shared misses over stand-alone misses on sampled sets."""
+        alone = self.shadow.standalone_misses(core)
+        shared = self.shadow.shared_misses[core]
+        if alone == 0:
+            # No stand-alone misses: any shared miss is pure interference.
+            return float(shared + 1)
+        return shared / alone
+
+    def end_interval(self, cache) -> None:
+        ratios = [self._miss_increase(core) for core in range(cache.num_cores)]
+        loser = max(range(cache.num_cores), key=lambda c: ratios[c])
+        donors = [c for c in range(cache.num_cores) if self.quotas[c] > 1 and c != loser]
+        if not donors:
+            return
+        donor = min(donors, key=lambda c: ratios[c])
+        if ratios[loser] - ratios[donor] <= self.threshold * max(ratios[loser], 1e-12):
+            return
+        quotas = list(self.quotas)
+        quotas[donor] -= 1
+        quotas[loser] += 1
+        self.set_quotas(quotas)
+        self.repartitions += 1

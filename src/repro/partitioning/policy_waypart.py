@@ -1,0 +1,71 @@
+"""Way-partitioning driven by a PriSM allocation policy.
+
+Section 5.2 compares the two enforcement mechanisms under the *same*
+allocation policy: PriSM's hit-max targets either feed eviction
+probabilities (PriSM proper) or are "rounded off ... to the nearest
+integral number of ways" and enforced with way quotas. This scheme is the
+latter arm of that comparison, generalised to any
+:class:`~repro.core.allocation.base.AllocationPolicy`.
+"""
+
+from __future__ import annotations
+
+from repro.cache.shadow import ShadowTagMonitor
+from repro.core.allocation.base import AllocationContext, AllocationPolicy
+from repro.partitioning.waypart import WayPartitionScheme, round_to_way_quotas
+
+__all__ = ["AllocationWayPartitionScheme"]
+
+
+class AllocationWayPartitionScheme(WayPartitionScheme):
+    """Run an allocation policy, round its targets to way quotas.
+
+    Args:
+        policy: the allocation policy producing occupancy-fraction targets.
+        interval_len: misses between repartitions; ``None`` uses the number
+            of cache blocks (same rule as PriSM, keeping the comparison
+            apples-to-apples).
+        sample_shift: shadow-tag set sampling.
+    """
+
+    name = "waypart-alloc"
+
+    def __init__(
+        self, policy: AllocationPolicy, interval_len: int = None, sample_shift: int = 3
+    ) -> None:
+        super().__init__()
+        self.policy_alloc = policy
+        self._interval_override = interval_len
+        self._sample_shift = sample_shift
+        self.shadow: ShadowTagMonitor = None
+        #: Performance-counter provider (set by MultiCoreSystem).
+        self.perf = None
+
+    @property
+    def name_with_policy(self) -> str:
+        return f"{self.name}[{self.policy_alloc.name}]"
+
+    def on_attach(self) -> None:
+        super().on_attach()
+        geometry = self.cache.geometry
+        self.interval_len = self._interval_override or geometry.num_blocks
+        self.shadow = ShadowTagMonitor(
+            self.cache.num_cores,
+            geometry.num_sets,
+            geometry.assoc,
+            sample_shift=self._sample_shift,
+        )
+        self.cache.add_monitor(self.shadow)
+
+    def end_interval(self, cache) -> None:
+        ctx = AllocationContext(
+            num_cores=cache.num_cores,
+            occupancy=cache.occupancy_fractions(),
+            miss_fractions=cache.stats.interval_miss_fractions(),
+            num_blocks=cache.geometry.num_blocks,
+            interval=self.interval_len,
+            shadow=self.shadow,
+            perf=self.perf,
+        )
+        targets = self.policy_alloc.compute_targets(ctx)
+        self.set_quotas(round_to_way_quotas(targets, cache.geometry.assoc))

@@ -1,0 +1,99 @@
+"""Set partitioning / page colouring (related work [10, 19]).
+
+Instead of dividing ways, each core is confined to a contiguous range of
+cache *sets* — the hardware-free OS technique: restrict a program's page
+colours and its lines can only index its own sets. The paper's related
+work notes the drawback this class shares: repartitioning means re-mapping
+pages, so reconfiguration is far more expensive than way quotas or PriSM's
+probability update. We model the steady state with a static partition.
+
+Because set selection happens before any scheme hook runs,
+:class:`SetPartitionedCache` specialises the cache itself: the set index
+is computed inside the core's own range. Within a range the baseline
+replacement policy operates untouched — each core effectively owns a
+private smaller cache.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.cache.cache import AccessResult, SharedCache
+from repro.cache.geometry import CacheGeometry
+from repro.cache.replacement.base import ReplacementPolicy
+
+__all__ = ["SetPartitionedCache", "proportional_set_split"]
+
+
+def proportional_set_split(fractions: Sequence[float], num_sets: int) -> List[int]:
+    """Split ``num_sets`` into per-core contiguous counts (>= 1 each).
+
+    Largest-remainder rounding, mirroring
+    :func:`repro.partitioning.waypart.round_to_way_quotas`.
+    """
+    num_cores = len(fractions)
+    if num_cores > num_sets:
+        raise ValueError(f"cannot give {num_cores} cores >= 1 of {num_sets} sets")
+    ideal = [max(0.0, f) * num_sets for f in fractions]
+    counts = [max(1, int(x)) for x in ideal]
+    total = sum(counts)
+    while total > num_sets:
+        donor = max(
+            (c for c in range(num_cores) if counts[c] > 1),
+            key=lambda c: counts[c] - ideal[c],
+        )
+        counts[donor] -= 1
+        total -= 1
+    remainders = sorted(
+        range(num_cores), key=lambda c: ideal[c] - int(ideal[c]), reverse=True
+    )
+    i = 0
+    while total < num_sets:
+        counts[remainders[i % num_cores]] += 1
+        total += 1
+        i += 1
+    return counts
+
+
+class SetPartitionedCache(SharedCache):
+    """A shared cache statically partitioned by set ranges.
+
+    Args:
+        geometry: cache geometry.
+        num_cores: sharing cores.
+        policy: baseline replacement policy (applies within each range).
+        fractions: per-core target shares; ``None`` splits sets equally.
+    """
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        num_cores: int,
+        policy: Optional[ReplacementPolicy] = None,
+        fractions: Optional[Sequence[float]] = None,
+    ) -> None:
+        super().__init__(geometry, num_cores, policy=policy)
+        if fractions is None:
+            fractions = [1.0 / num_cores] * num_cores
+        if len(fractions) != num_cores:
+            raise ValueError(
+                f"expected {num_cores} fractions, got {len(fractions)}"
+            )
+        counts = proportional_set_split(fractions, geometry.num_sets)
+        self.set_counts = counts
+        self._range_base: List[int] = []
+        base = 0
+        for count in counts:
+            self._range_base.append(base)
+            base += count
+
+    def access(self, core: int, block_addr: int) -> AccessResult:
+        """Index within the core's own set range, then behave normally."""
+        count = self.set_counts[core]
+        local_index = block_addr % count
+        remapped_set = self._range_base[core] + local_index
+        # Re-encode an address whose set bits select the remapped set and
+        # whose tag keeps the full original address (so distinct blocks
+        # that collapse onto one local set stay distinguishable).
+        remapped = (block_addr << self._tag_shift) | remapped_set
+        return super().access(core, remapped)

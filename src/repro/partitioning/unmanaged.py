@@ -1,0 +1,19 @@
+"""The unmanaged shared cache — the paper's LRU (and DIP) baselines."""
+
+from __future__ import annotations
+
+from repro.partitioning.base import ManagementScheme
+
+__all__ = ["UnmanagedScheme"]
+
+
+class UnmanagedScheme(ManagementScheme):
+    """No partitioning: the baseline replacement policy decides everything.
+
+    Attaching this scheme is equivalent to attaching no scheme at all; it
+    exists so experiment configurations can treat "LRU" uniformly with the
+    managed schemes.
+    """
+
+    name = "unmanaged"
+    interval_len = 0

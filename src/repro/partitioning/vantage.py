@@ -1,0 +1,181 @@
+"""Vantage fine-grained partitioning, Sanchez & Kozyrakis, ISCA 2011 [17],
+in its set-associative adaptation.
+
+Vantage logically splits the cache into a *managed* region, partitioned
+among cores, and a small *unmanaged* region that absorbs evictions:
+
+- fills enter the managed region of the inserting core's partition;
+- on a replacement, partitions over their target size *demote* their oldest
+  candidate blocks to the unmanaged region with an aperture-controlled
+  probability, and the actual victim is the oldest unmanaged block;
+- a hit on an unmanaged block promotes it back into its core's partition;
+- per-partition apertures grow linearly with how far the partition sits
+  above its target, saturating at ``max_aperture`` (0.4 in the paper).
+
+Targets come from the *extended UCP* allocation: UCP's lookahead run at
+sub-way granularity over interpolated UMON utility curves, as the Vantage
+paper's evaluation does. The baseline replacement policy must be the coarse
+timestamp LRU (:class:`~repro.cache.replacement.timestamp_lru.TimestampLRUPolicy`),
+mirroring Section 5.3's "all the schemes use a timestamp based LRU".
+
+When a set holds no unmanaged block, the globally oldest block is evicted
+instead (a *forced* eviction, counted in :attr:`forced_evictions`). The
+frequency of forced evictions is precisely the set-associative weakness of
+Vantage that PriSM's whole-cache probabilistic control avoids.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cache.replacement.timestamp_lru import TimestampLRUPolicy
+from repro.cache.shadow import ShadowTagMonitor
+from repro.partitioning.base import ManagementScheme
+from repro.partitioning.ucp import lookahead_allocate
+from repro.util.rng import make_rng
+from repro.util.validate import check_fraction
+
+__all__ = ["VantageScheme"]
+
+
+class VantageScheme(ManagementScheme):
+    """Set-associative Vantage with extended-UCP targets.
+
+    Args:
+        unmanaged_frac: fraction of the cache reserved for the unmanaged
+            region (the Vantage paper uses 5-15%).
+        max_aperture: demotion-probability ceiling (paper: 0.4).
+        slack: relative overshoot at which the aperture saturates.
+        granularity: sub-way allocation steps per way for extended UCP.
+        interval_len: misses between target recomputations; ``None`` uses
+            the number of cache blocks.
+        sample_shift: UMON set sampling.
+        seed: RNG seed for demotion draws.
+    """
+
+    name = "vantage"
+
+    def __init__(
+        self,
+        unmanaged_frac: float = 0.1,
+        max_aperture: float = 0.4,
+        slack: float = 0.1,
+        granularity: int = 4,
+        interval_len: int = None,
+        sample_shift: int = 3,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        check_fraction("unmanaged_frac", unmanaged_frac)
+        check_fraction("max_aperture", max_aperture)
+        if granularity < 1:
+            raise ValueError(f"granularity must be >= 1, got {granularity}")
+        self.unmanaged_frac = unmanaged_frac
+        self.max_aperture = max_aperture
+        self.slack = slack
+        self.granularity = granularity
+        self._interval_override = interval_len
+        self._sample_shift = sample_shift
+        self._rng = make_rng(seed, "vantage")
+        self.umon: ShadowTagMonitor = None
+        self.targets: List[float] = []  # per-core target size, in blocks
+        self.managed_count: List[int] = []
+        self.forced_evictions = 0
+        self.demotions = 0
+
+    def on_attach(self) -> None:
+        if not isinstance(self.cache.policy, TimestampLRUPolicy):
+            raise TypeError(
+                "VantageScheme requires the timestamp-LRU baseline policy "
+                f"(got {type(self.cache.policy).__name__})"
+            )
+        geometry = self.cache.geometry
+        num_cores = self.cache.num_cores
+        self.interval_len = self._interval_override or geometry.num_blocks
+        self.umon = ShadowTagMonitor(
+            num_cores, geometry.num_sets, geometry.assoc, sample_shift=self._sample_shift
+        )
+        self.cache.add_monitor(self.umon)
+        managed_blocks = geometry.num_blocks * (1.0 - self.unmanaged_frac)
+        self.targets = [managed_blocks / num_cores] * num_cores
+        self.managed_count = [0] * num_cores
+
+    # -- aperture ---------------------------------------------------------
+
+    def aperture(self, core: int) -> float:
+        """Demotion probability for ``core``'s partition right now."""
+        target = self.targets[core]
+        size = self.managed_count[core]
+        if target <= 0.0:
+            return self.max_aperture
+        if size <= target:
+            return 0.0
+        overshoot = (size - target) / (self.slack * target)
+        return min(self.max_aperture, overshoot * self.max_aperture)
+
+    # -- per-access hooks ------------------------------------------------------
+
+    def select_victim(self, cset, core: int):
+        policy: TimestampLRUPolicy = self.cache.policy
+        # Demotion pass: each partition present in the set may demote its
+        # oldest managed block with its aperture probability.
+        oldest_managed = {}
+        for block in cset.blocks:
+            if block.managed:
+                current = oldest_managed.get(block.core)
+                if current is None or policy.age(block) > policy.age(current):
+                    oldest_managed[block.core] = block
+        for owner, block in oldest_managed.items():
+            aperture = self.aperture(owner)
+            if aperture > 0.0 and self._rng.random() < aperture:
+                block.managed = False
+                self.managed_count[owner] -= 1
+                self.demotions += 1
+        # Victim: oldest unmanaged block, else forced eviction of the oldest.
+        victim = None
+        victim_age = -1
+        for block in cset.blocks:
+            if not block.managed:
+                age = policy.age(block)
+                if age > victim_age:
+                    victim, victim_age = block, age
+        if victim is None:
+            self.forced_evictions += 1
+            victim = max(cset.blocks, key=policy.age)
+            if victim.managed:
+                self.managed_count[victim.core] -= 1
+        return victim
+
+    def on_hit(self, cset, block, core: int) -> None:
+        if not block.managed:
+            block.managed = True
+            self.managed_count[block.core] += 1
+        self.cache.policy.on_hit(cset, block, core)
+
+    def on_fill(self, cset, block, core: int) -> None:
+        block.managed = True
+        self.managed_count[core] += 1
+
+    # -- allocation ----------------------------------------------------------
+
+    def end_interval(self, cache) -> None:
+        assoc = cache.geometry.assoc
+        budget = assoc * self.granularity
+        prefix = [
+            [self.umon.hits_with_ways(core, w) for w in range(assoc + 1)]
+            for core in range(cache.num_cores)
+        ]
+
+        def utility(core: int, units: int) -> float:
+            # UMON utility at sub-way granularity via linear interpolation.
+            ways = min(units / self.granularity, float(assoc))
+            lo = int(ways)
+            frac = ways - lo
+            base = prefix[core][lo]
+            if frac == 0.0:
+                return float(base)
+            return base + frac * (prefix[core][min(lo + 1, assoc)] - base)
+
+        alloc = lookahead_allocate(utility, cache.num_cores, budget, minimum=1)
+        managed_blocks = cache.geometry.num_blocks * (1.0 - self.unmanaged_frac)
+        self.targets = [a / budget * managed_blocks for a in alloc]

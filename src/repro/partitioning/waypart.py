@@ -1,0 +1,125 @@
+"""Way-partitioning enforcement.
+
+The classic mechanism [6, 9, 14, 15, 18]: each core holds a quota of ways,
+identical in every set. On a miss the victim must come from a core that is
+at-or-over its quota in the accessed set, so that in steady state every
+set's per-core block counts converge to the quotas.
+
+This module provides only the *enforcement*; allocation policies that
+decide the quotas sit on top (UCP's lookahead in
+:mod:`repro.partitioning.ucp`, the fairness repartitioner in
+:mod:`repro.partitioning.fair_waypart`, or PriSM's hit-max allocation
+rounded to ways for the Fig. 5 comparison).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.partitioning.base import ManagementScheme
+
+__all__ = ["WayPartitionScheme", "round_to_way_quotas"]
+
+
+def round_to_way_quotas(fractions: Sequence[float], assoc: int) -> List[int]:
+    """Round target occupancy fractions to per-core way quotas.
+
+    Every core gets at least one way; the remainder goes to the largest
+    fractional parts (largest-remainder rounding), so quotas always sum to
+    ``assoc``. This is how Section 5.2 adapts PriSM's allocation policy to
+    way-partitioning ("rounding off the outcome ... to the nearest integral
+    number of ways").
+
+    Raises:
+        ValueError: if there are more cores than ways.
+    """
+    num_cores = len(fractions)
+    if num_cores > assoc:
+        raise ValueError(f"cannot give {num_cores} cores >=1 of {assoc} ways")
+    ideal = [max(0.0, f) * assoc for f in fractions]
+    quotas = [max(1, int(x)) for x in ideal]
+    total = sum(quotas)
+    if total > assoc:
+        # Shave the cores furthest above their ideal share until feasible.
+        while total > assoc:
+            donor = max(
+                (c for c in range(num_cores) if quotas[c] > 1),
+                key=lambda c: quotas[c] - ideal[c],
+            )
+            quotas[donor] -= 1
+            total -= 1
+    else:
+        remainders = sorted(
+            range(num_cores), key=lambda c: ideal[c] - int(ideal[c]), reverse=True
+        )
+        i = 0
+        while total < assoc:
+            quotas[remainders[i % num_cores]] += 1
+            total += 1
+            i += 1
+    return quotas
+
+
+class WayPartitionScheme(ManagementScheme):
+    """Enforce per-core way quotas using the baseline policy's ordering.
+
+    Args:
+        quotas: initial per-core way counts; must sum to the associativity.
+            ``None`` starts from an equal split.
+    """
+
+    name = "waypart"
+
+    def __init__(self, quotas: Sequence[int] = None) -> None:
+        super().__init__()
+        self._initial_quotas = list(quotas) if quotas is not None else None
+        self.quotas: List[int] = []
+
+    def on_attach(self) -> None:
+        assoc = self.cache.geometry.assoc
+        num_cores = self.cache.num_cores
+        if self._initial_quotas is not None:
+            self.set_quotas(self._initial_quotas)
+        else:
+            base, extra = divmod(assoc, num_cores)
+            if base == 0:
+                raise ValueError(
+                    f"{num_cores} cores cannot each get a way of a {assoc}-way cache"
+                )
+            self.set_quotas([base + (1 if c < extra else 0) for c in range(num_cores)])
+
+    def set_quotas(self, quotas: Sequence[int]) -> None:
+        """Install new way quotas (validated against the geometry)."""
+        quotas = list(quotas)
+        assoc = self.cache.geometry.assoc
+        if len(quotas) != self.cache.num_cores:
+            raise ValueError(
+                f"expected {self.cache.num_cores} quotas, got {len(quotas)}"
+            )
+        if any(q < 1 for q in quotas):
+            raise ValueError(f"every core needs >= 1 way, got {quotas}")
+        if sum(quotas) != assoc:
+            raise ValueError(f"quotas {quotas} must sum to assoc {assoc}")
+        self.quotas = quotas
+
+    def select_victim(self, cset, core: int):
+        """Evict from an over-quota core; fall back to self, then to anyone.
+
+        ``core`` (the requester) counts as over-quota when it already holds
+        at least its quota in this set — its own LRU-most block goes.
+        """
+        counts = [0] * self.cache.num_cores
+        for block in cset.blocks:
+            counts[block.core] += 1
+        if counts[core] >= self.quotas[core]:
+            victim = self.first_victim_of(cset, (core,))
+            if victim is not None:
+                return victim
+        over = [c for c in range(self.cache.num_cores) if counts[c] > self.quotas[c]]
+        if over:
+            victim = self.first_victim_of(cset, over)
+            if victim is not None:
+                return victim
+        # Set full of exactly-at-quota cores other than the requester: take
+        # the baseline victim among cores holding at least one block.
+        return self.cache.policy.victim(cset)

@@ -1,0 +1,12 @@
+"""Shared utilities: deterministic RNG derivation and small numeric helpers."""
+
+from repro.util.rng import derive_seed, make_rng
+from repro.util.validate import check_fraction, check_positive, check_power_of_two
+
+__all__ = [
+    "derive_seed",
+    "make_rng",
+    "check_fraction",
+    "check_positive",
+    "check_power_of_two",
+]

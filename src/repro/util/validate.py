@@ -1,0 +1,31 @@
+"""Small argument-validation helpers used across the package.
+
+These raise ``ValueError`` with a consistent message format so that
+misconfigured experiments fail fast and loudly instead of silently
+producing meaningless results.
+"""
+
+from __future__ import annotations
+
+__all__ = ["check_fraction", "check_positive", "check_power_of_two"]
+
+
+def check_fraction(name: str, value: float) -> float:
+    """Require ``value`` to lie in the closed interval [0, 1]."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return float(value)
+
+
+def check_positive(name: str, value: float) -> float:
+    """Require ``value`` to be strictly positive."""
+    if value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_power_of_two(name: str, value: int) -> int:
+    """Require ``value`` to be a positive power of two."""
+    if value <= 0 or (value & (value - 1)) != 0:
+        raise ValueError(f"{name} must be a positive power of two, got {value!r}")
+    return value

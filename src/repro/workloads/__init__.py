@@ -1,0 +1,40 @@
+"""Synthetic multiprogrammed workloads.
+
+The paper drives its evaluation with SPEC CPU programs; those are not
+redistributable, so this package provides the documented substitution
+(DESIGN.md §2): seeded *zone-model* benchmark profiles whose miss-rate-vs-
+allocation curves and memory intensities span the same qualitative classes
+the paper's analysis leans on — cache-friendly programs with knees, pure
+streamers, cache-insensitive compute, and thrashing giants.
+
+- :mod:`repro.workloads.zones` — the generative access model,
+- :mod:`repro.workloads.benchmark` — profiles + access streams,
+- :mod:`repro.workloads.spec` — the named catalog (``179.art`` etc.),
+- :mod:`repro.workloads.mixes` — the Q/E/S/T workload mixes,
+- :mod:`repro.workloads.trace` — record/replay of access traces.
+"""
+
+from repro.workloads.zones import ScanZone, UniformZone, ZoneModel
+from repro.workloads.benchmark import AccessStream, BenchmarkProfile
+from repro.workloads.spec import PROFILES, get_profile, profiles_by_category
+from repro.workloads.mixes import MIXES, get_mix, mixes_for_cores
+from repro.workloads.trace import Trace, record_trace
+from repro.workloads.phased import PhasedProfile, PhasedStream
+
+__all__ = [
+    "PhasedProfile",
+    "PhasedStream",
+    "UniformZone",
+    "ScanZone",
+    "ZoneModel",
+    "BenchmarkProfile",
+    "AccessStream",
+    "PROFILES",
+    "get_profile",
+    "profiles_by_category",
+    "MIXES",
+    "get_mix",
+    "mixes_for_cores",
+    "Trace",
+    "record_trace",
+]

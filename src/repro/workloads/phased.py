@@ -1,0 +1,106 @@
+"""Phase-changing workloads.
+
+The catalog profiles are stationary — ideal for calibration, but real
+programs move through phases (a working-set change every few hundred
+million instructions). :class:`PhasedProfile` chains catalog-style
+profiles into a phase schedule so the interval controller's *adaptivity*
+can be exercised: PriSM must re-learn targets when the active phase's
+reuse behaviour changes, and the Fig. 11 stability story becomes a
+per-phase property instead of a global one.
+
+The phased stream keeps the ``next_access`` protocol, so it drops into
+:class:`~repro.cpu.system.MultiCoreSystem` like any other stream.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.util.rng import derive_seed
+from repro.workloads.benchmark import AccessStream, BenchmarkProfile
+
+__all__ = ["PhasedProfile", "PhasedStream"]
+
+
+class PhasedProfile:
+    """A cyclic schedule of (profile, instructions) phases.
+
+    Args:
+        phases: sequence of ``(profile, instruction_count)`` pairs; the
+            schedule repeats after the last phase.
+        name: label for reports (defaults to a ``+``-join of phase names).
+
+    The timing attributes (``mem_ratio``, ``mlp``, ``cpi_base``) a
+    :class:`~repro.cpu.core_model.CoreTimingModel` reads come from the
+    *first* phase's profile for construction; per-access timing follows
+    the active phase through the stream's gap/address draws. For the
+    core model's ``cpi_base`` (a scalar), phases should share a similar
+    base CPI — the interesting phase changes are reuse-behaviour changes.
+    """
+
+    def __init__(
+        self, phases: Sequence[Tuple[BenchmarkProfile, int]], name: str = None
+    ) -> None:
+        if not phases:
+            raise ValueError("a phased profile needs at least one phase")
+        for profile, instructions in phases:
+            if instructions < 1:
+                raise ValueError(
+                    f"phase {profile.name!r} needs >= 1 instruction, got {instructions}"
+                )
+        self.phases = list(phases)
+        self.name = name or "+".join(p.name for p, _ in phases)
+        first = phases[0][0]
+        self.mem_ratio = first.mem_ratio
+        self.mlp = first.mlp
+        self.cpi_base = first.cpi_base
+        self.category = "phased"
+
+    @property
+    def mean_gap(self) -> float:
+        return 1.0 / self.mem_ratio
+
+    def stream(self, seed: int = 0, scale: float = 1.0) -> "PhasedStream":
+        return PhasedStream(self, seed=seed, scale=scale)
+
+    def footprint(self, scale: float = 1.0) -> int:
+        return max(p.footprint(scale) for p, _ in self.phases)
+
+
+class PhasedStream:
+    """Stream that switches underlying profile streams on phase boundaries.
+
+    Each phase gets its own address space offset so a phase change looks
+    like what it is — a new working set, not a re-visit of the old one.
+    """
+
+    #: Address offset between phases (footprints never collide).
+    PHASE_STRIDE = 1 << 28
+
+    def __init__(self, profile: PhasedProfile, seed: int = 0, scale: float = 1.0) -> None:
+        self.profile = profile
+        self._streams: List[AccessStream] = [
+            AccessStream(p, seed=derive_seed(seed, "phase", i, p.name), scale=scale)
+            for i, (p, _) in enumerate(profile.phases)
+        ]
+        self._lengths = [instructions for _, instructions in profile.phases]
+        self._phase = 0
+        self._instructions_in_phase = 0
+        self.generated = 0
+        self.phase_switches = 0
+
+    @property
+    def current_phase(self) -> int:
+        """Index of the active phase."""
+        return self._phase
+
+    def next_access(self) -> Tuple[int, int]:
+        gap, addr = self._streams[self._phase].next_access()
+        self.generated += 1
+        self._instructions_in_phase += gap
+        result = (gap, addr + self._phase * self.PHASE_STRIDE)
+        if self._instructions_in_phase >= self._lengths[self._phase]:
+            self._instructions_in_phase = 0
+            self._phase = (self._phase + 1) % len(self._streams)
+            self.phase_switches += 1
+        return result

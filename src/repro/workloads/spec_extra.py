@@ -1,0 +1,81 @@
+"""Supplementary benchmark profiles.
+
+Additional SPEC-like programs beyond the core catalog. They are kept out
+of :data:`repro.workloads.spec.PROFILES` by default because the paper's
+E/S/T mixes are *generated deterministically from the core catalog* —
+adding to it would silently change which programs those mixes contain and
+invalidate recorded results. Use these for custom workloads, or call
+:func:`register_extra_profiles` to make them available to
+``get_profile``/CLI by name.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.workloads.benchmark import BenchmarkProfile
+from repro.workloads.spec import PROFILES
+from repro.workloads.zones import ScanZone, UniformZone
+
+__all__ = ["EXTRA_PROFILES", "register_extra_profiles", "unregister_extra_profiles"]
+
+
+def _u(weight: float, size: int) -> UniformZone:
+    return UniformZone(weight, size)
+
+
+def _s(weight: float, size: int) -> ScanZone:
+    return ScanZone(weight, size)
+
+
+_EXTRA: List[BenchmarkProfile] = [
+    # Lattice-QCD style: streaming with a small reused kernel table.
+    BenchmarkProfile("433.milc", (_s(0.85, 7168), _u(0.15, 96)),
+                     mem_ratio=0.038, mlp=2.6, cpi_base=0.45, category="streaming"),
+    # FDTD solver: huge sequential sweeps.
+    BenchmarkProfile("459.GemsFDTD", (_s(0.92, 9216), _u(0.08, 48)),
+                     mem_ratio=0.042, mlp=3.0, cpi_base=0.45, category="streaming"),
+    # Stencil with moderate blocking: mid-size reuse + scan.
+    BenchmarkProfile("436.cactusADM", (_u(0.35, 72), _u(0.35, 460), _s(0.30, 1792)),
+                     mem_ratio=0.026, mlp=2.0, cpi_base=0.50, category="moderate"),
+    # Game tree search: small hot state, low intensity.
+    BenchmarkProfile("445.gobmk", (_u(0.75, 56), _u(0.25, 224)),
+                     mem_ratio=0.007, mlp=1.1, cpi_base=0.50, category="insensitive"),
+    # FE solver: compute bound with a small reused matrix window.
+    BenchmarkProfile("454.calculix", (_u(0.85, 40), _u(0.15, 160)),
+                     mem_ratio=0.004, mlp=1.0, cpi_base=0.40, category="insensitive"),
+    # Multigrid: nested grids, partially cache-resident.
+    BenchmarkProfile("172.mgrid", (_u(0.30, 88), _u(0.40, 520), _s(0.30, 2304)),
+                     mem_ratio=0.030, mlp=2.4, cpi_base=0.45, category="moderate"),
+    # Pointer-chasing database-ish: big flat set, shallow utility.
+    BenchmarkProfile("471.astar-biglakes", (_u(0.20, 128), _u(0.80, 3584)),
+                     mem_ratio=0.040, mlp=1.5, cpi_base=0.50, category="thrashing"),
+    # Mesh optimiser: cache friendly, knees near the reference cache.
+    BenchmarkProfile("447.dealII", (_u(0.35, 72), _u(0.65, 760)),
+                     mem_ratio=0.024, mlp=1.4, cpi_base=0.55, category="friendly"),
+]
+
+EXTRA_PROFILES: Dict[str, BenchmarkProfile] = {p.name: p for p in _EXTRA}
+
+
+def register_extra_profiles() -> List[str]:
+    """Add the extras to the main catalog (idempotent).
+
+    Returns:
+        The names newly registered.
+
+    Note: pre-built mixes are unaffected — they were generated from the
+    core catalog at import time.
+    """
+    added = []
+    for name, profile in EXTRA_PROFILES.items():
+        if name not in PROFILES:
+            PROFILES[name] = profile
+            added.append(name)
+    return added
+
+
+def unregister_extra_profiles() -> None:
+    """Remove the extras from the main catalog (for test isolation)."""
+    for name in EXTRA_PROFILES:
+        PROFILES.pop(name, None)

@@ -1,0 +1,30 @@
+"""The cache's hot-path address arithmetic must match CacheGeometry's."""
+
+import pytest
+
+from repro.cache.cache import SharedCache
+from repro.cache.geometry import CacheGeometry
+from repro.util.rng import make_rng
+
+
+@pytest.mark.parametrize(
+    "size,assoc",
+    [(1 << 10, 16), (4 << 10, 4), (64 << 10, 16), (256 << 10, 64)],
+)
+def test_hot_path_matches_geometry(size, assoc):
+    geometry = CacheGeometry(size, 64, assoc)
+    cache = SharedCache(geometry, 1)
+    rng = make_rng(1, "geom")
+    for _ in range(200):
+        addr = rng.randrange(1 << 48)
+        assert addr & cache._set_mask == geometry.set_index(addr)
+        assert addr >> cache._tag_shift == geometry.tag(addr)
+
+
+def test_single_set_cache_hot_path():
+    geometry = CacheGeometry(1 << 10, 64, 16)  # one set
+    cache = SharedCache(geometry, 1)
+    assert cache._set_mask == 0
+    assert cache._tag_shift == 0
+    cache.access(0, 123456)
+    assert cache.access(0, 123456).hit

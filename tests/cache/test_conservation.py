@@ -1,0 +1,64 @@
+"""Conservation laws of the shared cache under every scheme."""
+
+import pytest
+
+from repro.cache.cache import SharedCache
+from repro.cache.geometry import CacheGeometry
+from repro.core import HitMaxPolicy, PrismScheme
+from repro.partitioning import PIPPScheme, UCPScheme, WayPartitionScheme
+from repro.util.rng import make_rng
+
+GEOMETRY = CacheGeometry(8 << 10, 64, 8)  # 128 blocks
+
+
+def build(scheme_name):
+    cache = SharedCache(GEOMETRY, 2)
+    scheme = {
+        "none": None,
+        "prism": PrismScheme(HitMaxPolicy(), interval_len=64, sample_shift=1),
+        "ucp": UCPScheme(interval_len=64, sample_shift=1),
+        "pipp": PIPPScheme(interval_len=64, sample_shift=1),
+        "waypart": WayPartitionScheme(),
+    }[scheme_name]
+    if scheme is not None:
+        cache.set_scheme(scheme)
+    return cache
+
+
+@pytest.mark.parametrize("scheme_name", ["none", "prism", "ucp", "pipp", "waypart"])
+class TestConservation:
+    def test_misses_equal_fills(self, scheme_name):
+        """Every miss fills exactly one block: misses == evictions + resident."""
+        cache = build(scheme_name)
+        rng = make_rng(1, scheme_name)
+        for _ in range(6000):
+            core = rng.randrange(2)
+            cache.access(core, (core << 20) + rng.randrange(600))
+        stats = cache.stats
+        assert sum(stats.misses) == sum(stats.evictions) + sum(cache.occupancy)
+
+    def test_per_core_block_balance(self, scheme_name):
+        """Per core: fills (own misses) minus evictions suffered equals
+        blocks currently held."""
+        cache = build(scheme_name)
+        rng = make_rng(2, scheme_name)
+        for _ in range(6000):
+            core = rng.randrange(2)
+            cache.access(core, (core << 20) + rng.randrange(600))
+        for core in range(2):
+            held = cache.stats.misses[core] - cache.stats.evictions[core]
+            assert held == cache.occupancy[core]
+
+    def test_full_cache_stays_full(self, scheme_name):
+        """Once full, the cache never loses a block (evictions only happen
+        to make room)."""
+        cache = build(scheme_name)
+        rng = make_rng(3, scheme_name)
+        for _ in range(2000):
+            core = rng.randrange(2)
+            cache.access(core, (core << 20) + rng.randrange(600))
+        assert sum(cache.occupancy) == GEOMETRY.num_blocks
+        for _ in range(2000):
+            core = rng.randrange(2)
+            cache.access(core, (core << 20) + rng.randrange(600))
+            assert sum(cache.occupancy) == GEOMETRY.num_blocks

@@ -1,0 +1,99 @@
+"""Unit tests for cache geometry arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cache.geometry import CacheGeometry
+
+
+class TestConstruction:
+    def test_basic_counts(self):
+        g = CacheGeometry(4 << 20, block_bytes=64, assoc=32)
+        assert g.num_blocks == 65536  # the paper's 4MB example: N = 65536
+        assert g.num_sets == 2048
+
+    def test_paper_example_matches_section_32(self):
+        # "In a 4MB32Way cache with block size of 64B, N=65536 and A=32."
+        g = CacheGeometry(4 << 20, 64, 32)
+        assert g.num_blocks == 65536
+        assert g.assoc == 32
+
+    def test_single_set_cache(self):
+        g = CacheGeometry(1 << 10, block_bytes=64, assoc=16)
+        assert g.num_sets == 1
+        assert g.num_blocks == 16
+
+    def test_rejects_non_power_of_two_size(self):
+        with pytest.raises(ValueError, match="size_bytes"):
+            CacheGeometry(3000, 64, 4)
+
+    def test_rejects_non_power_of_two_block(self):
+        with pytest.raises(ValueError, match="block_bytes"):
+            CacheGeometry(4096, 48, 4)
+
+    def test_rejects_non_power_of_two_assoc(self):
+        with pytest.raises(ValueError, match="assoc"):
+            CacheGeometry(4096, 64, 3)
+
+    def test_rejects_assoc_larger_than_blocks(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(1 << 10, block_bytes=64, assoc=32)
+
+    def test_frozen(self):
+        g = CacheGeometry(4096, 64, 4)
+        with pytest.raises(AttributeError):
+            g.assoc = 8
+
+
+class TestAddressMapping:
+    def test_set_index_wraps(self):
+        g = CacheGeometry(4096, 64, 4)  # 16 sets
+        assert g.set_index(0) == 0
+        assert g.set_index(16) == 0
+        assert g.set_index(17) == 1
+
+    def test_tag_strips_set_bits(self):
+        g = CacheGeometry(4096, 64, 4)  # 16 sets
+        assert g.tag(0) == 0
+        assert g.tag(16) == 1
+        assert g.tag(35) == 2
+
+    def test_roundtrip(self):
+        g = CacheGeometry(4096, 64, 4)
+        for addr in [0, 1, 15, 16, 1000, (1 << 36) + 5]:
+            assert g.block_addr(g.set_index(addr), g.tag(addr)) == addr
+
+    def test_roundtrip_single_set(self):
+        g = CacheGeometry(1 << 10, 64, 16)
+        for addr in [0, 5, 123456]:
+            assert g.set_index(addr) == 0
+            assert g.block_addr(0, g.tag(addr)) == addr
+
+    @given(st.integers(min_value=0, max_value=1 << 48))
+    def test_roundtrip_property(self, addr):
+        g = CacheGeometry(16 << 10, 64, 8)
+        assert g.block_addr(g.set_index(addr), g.tag(addr)) == addr
+
+    def test_distinct_addresses_in_same_set_have_distinct_tags(self):
+        g = CacheGeometry(4096, 64, 4)
+        addrs = [i * g.num_sets + 3 for i in range(50)]
+        tags = {g.tag(a) for a in addrs}
+        assert len(tags) == 50
+
+
+class TestScaling:
+    def test_scaled_keeps_assoc(self):
+        g = CacheGeometry(4 << 20, 64, 16).scaled(64)
+        assert g.size_bytes == 64 << 10
+        assert g.assoc == 16
+        assert g.num_blocks == 1024
+
+    def test_scaled_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(4 << 20, 64, 16).scaled(3)
+
+    def test_str_megabytes(self):
+        assert str(CacheGeometry(4 << 20, 64, 16)) == "4MB/16way/64B"
+
+    def test_str_kilobytes(self):
+        assert str(CacheGeometry(64 << 10, 64, 16)) == "64KB/16way/64B"

@@ -1,0 +1,81 @@
+"""Tests for the interval-history recorder."""
+
+import pytest
+
+from repro.cache.cache import SharedCache
+from repro.cache.geometry import CacheGeometry
+from repro.cache.history import IntervalHistory
+from repro.core import HitMaxPolicy, PrismScheme
+from repro.partitioning import UCPScheme
+from repro.util.rng import make_rng
+
+GEOMETRY = CacheGeometry(8 << 10, 64, 8)
+
+
+def drive(cache, accesses=4000, seed=0):
+    rng = make_rng(seed, "hist")
+    for _ in range(accesses):
+        core = rng.randrange(cache.num_cores)
+        cache.access(core, (core << 20) + rng.randrange(800))
+
+
+class TestIntervalHistory:
+    def test_records_one_per_interval(self):
+        cache = SharedCache(GEOMETRY, 2)
+        cache.set_scheme(PrismScheme(HitMaxPolicy(), interval_len=64, sample_shift=1))
+        history = IntervalHistory(cache)
+        drive(cache)
+        assert len(history.records) == cache.intervals_completed
+        assert history.records[0]["interval"] == 1
+
+    def test_prism_fields_captured(self):
+        cache = SharedCache(GEOMETRY, 2)
+        cache.set_scheme(PrismScheme(HitMaxPolicy(), interval_len=64, sample_shift=1))
+        history = IntervalHistory(cache)
+        drive(cache)
+        record = history.records[-1]
+        assert len(record["targets"]) == 2
+        assert sum(record["probabilities"]) == pytest.approx(1.0)
+
+    def test_quota_schemes_captured(self):
+        cache = SharedCache(GEOMETRY, 2)
+        cache.set_scheme(UCPScheme(interval_len=64, sample_shift=1))
+        history = IntervalHistory(cache)
+        drive(cache)
+        assert sum(history.records[-1]["quotas"]) == GEOMETRY.assoc
+
+    def test_ring_buffer(self):
+        cache = SharedCache(GEOMETRY, 1)
+        cache.set_scheme(PrismScheme(HitMaxPolicy(), interval_len=32, sample_shift=1))
+        history = IntervalHistory(cache, max_records=5)
+        drive(cache, accesses=8000)
+        assert len(history.records) == 5
+        intervals = [r["interval"] for r in history.records]
+        assert intervals == sorted(intervals)
+        assert intervals[-1] == cache.intervals_completed
+
+    def test_series_and_rows(self):
+        cache = SharedCache(GEOMETRY, 2)
+        cache.set_scheme(PrismScheme(HitMaxPolicy(), interval_len=64, sample_shift=1))
+        history = IntervalHistory(cache)
+        drive(cache)
+        series = history.series("occupancy", 0)
+        assert len(series) == len(history.records)
+        rows = history.to_rows()
+        assert len(rows) == 2 * len(history.records)
+        assert set(rows[0]) == {"interval", "core", "occupancy", "target", "probability"}
+
+    def test_rejects_bad_bound(self):
+        cache = SharedCache(GEOMETRY, 1)
+        with pytest.raises(ValueError):
+            IntervalHistory(cache, max_records=0)
+
+    def test_csv_export_compatible(self, tmp_path):
+        from repro.experiments.export import rows_to_csv
+
+        cache = SharedCache(GEOMETRY, 2)
+        cache.set_scheme(PrismScheme(HitMaxPolicy(), interval_len=64, sample_shift=1))
+        history = IntervalHistory(cache)
+        drive(cache)
+        path = rows_to_csv(history.to_rows(), tmp_path / "history.csv")
+        assert path.exists()

@@ -1,0 +1,73 @@
+"""Ordering contracts of the interval machinery.
+
+Allocation policies read interval counters inside ``end_interval``; the
+cache must call the scheme *before* resetting statistics and *before*
+monitors roll their own interval state. These tests pin that contract —
+several schemes silently break if it changes.
+"""
+
+from repro.cache.cache import SharedCache
+from repro.cache.geometry import CacheGeometry
+from repro.partitioning.base import ManagementScheme
+
+GEOMETRY = CacheGeometry(4 << 10, 64, 4)
+
+
+class OrderProbe(ManagementScheme):
+    name = "probe"
+
+    def __init__(self):
+        super().__init__()
+        self.interval_len = 8
+        self.events = []
+
+    def end_interval(self, cache):
+        self.events.append(("scheme", list(cache.stats.interval_misses)))
+
+
+class MonitorProbe:
+    def __init__(self, events, cache):
+        self.events = events
+        self.cache = cache
+
+    def observe(self, core, set_index, tag, hit):
+        pass
+
+    def end_interval(self):
+        self.events.append(("monitor", list(self.cache.stats.interval_misses)))
+
+
+class TestIntervalOrdering:
+    def test_scheme_sees_live_counters_monitor_sees_reset(self):
+        cache = SharedCache(GEOMETRY, 1)
+        scheme = OrderProbe()
+        cache.set_scheme(scheme)
+        cache.add_monitor(MonitorProbe(scheme.events, cache))
+        for i in range(8):
+            cache.access(0, i)
+        kinds = [kind for kind, _ in scheme.events]
+        assert kinds == ["scheme", "monitor"]
+        scheme_view = scheme.events[0][1]
+        monitor_view = scheme.events[1][1]
+        assert scheme_view == [8]   # live counters during the scheme callback
+        assert monitor_view == [0]  # already reset when monitors roll
+
+    def test_interval_counter_restarts_cleanly(self):
+        cache = SharedCache(GEOMETRY, 1)
+        scheme = OrderProbe()
+        cache.set_scheme(scheme)
+        for i in range(24):
+            cache.access(0, i)
+        assert len([e for e in scheme.events if e[0] == "scheme"]) == 3
+        assert cache.interval_miss_count == 0
+        assert cache.intervals_completed == 3
+
+    def test_multiple_monitors_all_rolled(self):
+        cache = SharedCache(GEOMETRY, 1)
+        scheme = OrderProbe()
+        cache.set_scheme(scheme)
+        cache.add_monitor(MonitorProbe(scheme.events, cache))
+        cache.add_monitor(MonitorProbe(scheme.events, cache))
+        for i in range(8):
+            cache.access(0, i)
+        assert [kind for kind, _ in scheme.events] == ["scheme", "monitor", "monitor"]

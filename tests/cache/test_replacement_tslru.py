@@ -1,0 +1,85 @@
+"""Tests for coarse timestamp LRU (the Vantage-comparison baseline)."""
+
+import pytest
+
+from repro.cache.cache import SharedCache
+from repro.cache.cacheset import CacheSet
+from repro.cache.geometry import CacheGeometry
+from repro.cache.replacement.lru import LRUPolicy
+from repro.cache.replacement.timestamp_lru import TimestampLRUPolicy
+from repro.util.rng import make_rng
+
+
+class TestTimestampMechanics:
+    def test_rejects_tiny_width(self):
+        with pytest.raises(ValueError):
+            TimestampLRUPolicy(bits=1)
+
+    def test_counter_advances_every_tick(self):
+        policy = TimestampLRUPolicy(bits=8, accesses_per_tick=2)
+        cset = CacheSet(0, 4)
+        assert policy.now == 0
+        policy.notify_access(cset)
+        assert policy.now == 0
+        policy.notify_access(cset)
+        assert policy.now == 1
+
+    def test_counter_wraps(self):
+        policy = TimestampLRUPolicy(bits=2, accesses_per_tick=1)
+        cset = CacheSet(0, 4)
+        for _ in range(4):
+            policy.notify_access(cset)
+        assert policy.now == 0  # 2-bit counter wrapped
+
+    def test_age_is_wraparound_aware(self):
+        policy = TimestampLRUPolicy(bits=4, accesses_per_tick=1)
+        cset = CacheSet(0, 4)
+        block = cset.fill(1, core=0)
+        block.timestamp = 14
+        policy.now = 2  # wrapped past 15 -> age 4
+        assert policy.age(block) == 4
+
+    def test_bind_defaults_tick_to_sixteenth_of_blocks(self):
+        geometry = CacheGeometry(64 << 10, 64, 16)  # 1024 blocks
+        cache = SharedCache(geometry, 1, policy=TimestampLRUPolicy())
+        assert cache.policy.accesses_per_tick == 64
+
+    def test_fill_and_hit_stamp_current_time(self):
+        policy = TimestampLRUPolicy(bits=8, accesses_per_tick=1)
+        cset = CacheSet(0, 4)
+        policy.now = 7
+        block = cset.fill(1, core=0)
+        policy.on_fill(cset, block, core=0)
+        assert block.timestamp == 7
+        policy.now = 9
+        policy.on_hit(cset, block, core=0)
+        assert block.timestamp == 9
+
+
+class TestEvictionOrder:
+    def test_oldest_first(self):
+        policy = TimestampLRUPolicy(bits=8, accesses_per_tick=1)
+        cset = CacheSet(0, 4)
+        for tag, ts in [(1, 5), (2, 2), (3, 9)]:
+            block = cset.fill(tag, core=0)
+            block.timestamp = ts
+        policy.now = 10
+        order = policy.eviction_order(cset)
+        assert [b.tag for b in order] == [2, 1, 3]
+
+    def test_approximates_lru_at_coarse_granularity(self):
+        """Timestamp LRU should land near true LRU on a local stream."""
+        geometry = CacheGeometry(4 << 10, 64, 8)
+
+        def run(policy):
+            cache = SharedCache(geometry, 1, policy=policy)
+            rng = make_rng(4, "tslru")
+            hits = 0
+            for _ in range(10000):
+                addr = rng.randrange(48) if rng.random() < 0.8 else rng.randrange(2000)
+                hits += cache.access(0, addr).hit
+            return hits
+
+        lru_hits = run(LRUPolicy())
+        ts_hits = run(TimestampLRUPolicy())
+        assert ts_hits == pytest.approx(lru_hits, rel=0.10)

@@ -1,0 +1,82 @@
+"""Unit tests for cache statistics counters."""
+
+import pytest
+
+from repro.cache.stats import CacheStats
+
+
+class TestLifetimeCounters:
+    def test_initial_state(self):
+        stats = CacheStats(2)
+        assert stats.hits == [0, 0]
+        assert stats.misses == [0, 0]
+        assert stats.total_misses() == 0
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ValueError):
+            CacheStats(0)
+
+    def test_hit_and_miss_attribution(self):
+        stats = CacheStats(3)
+        stats.record_hit(0)
+        stats.record_miss(1)
+        stats.record_miss(1)
+        assert stats.hits == [1, 0, 0]
+        assert stats.misses == [0, 2, 0]
+        assert stats.accesses(1) == 2
+
+    def test_eviction_attribution(self):
+        stats = CacheStats(2)
+        stats.record_eviction(1)
+        assert stats.evictions == [0, 1]
+
+    def test_miss_rate(self):
+        stats = CacheStats(1)
+        stats.record_hit(0)
+        stats.record_miss(0)
+        stats.record_miss(0)
+        assert stats.miss_rate(0) == pytest.approx(2 / 3)
+
+    def test_miss_rate_no_accesses(self):
+        assert CacheStats(1).miss_rate(0) == 0.0
+
+    def test_snapshot_is_a_copy(self):
+        stats = CacheStats(2)
+        snap = stats.snapshot()
+        snap["hits"][0] = 99
+        assert stats.hits[0] == 0
+
+
+class TestIntervalCounters:
+    def test_interval_tracks_independently(self):
+        stats = CacheStats(2)
+        stats.record_miss(0)
+        stats.reset_interval()
+        stats.record_miss(1)
+        assert stats.misses == [1, 1]          # lifetime keeps both
+        assert stats.interval_misses == [0, 1]  # interval only the second
+
+    def test_miss_fractions_sum_to_one(self):
+        stats = CacheStats(3)
+        stats.record_miss(0)
+        stats.record_miss(0)
+        stats.record_miss(2)
+        fractions = stats.interval_miss_fractions()
+        assert sum(fractions) == pytest.approx(1.0)
+        assert fractions[0] == pytest.approx(2 / 3)
+        assert fractions[1] == 0.0
+
+    def test_miss_fractions_uniform_when_no_misses(self):
+        # Eq. 1 needs a well-defined M even for an idle interval.
+        fractions = CacheStats(4).interval_miss_fractions()
+        assert fractions == [0.25] * 4
+
+    def test_reset_clears_all_interval_counters(self):
+        stats = CacheStats(2)
+        stats.record_hit(0)
+        stats.record_miss(1)
+        stats.record_eviction(0)
+        stats.reset_interval()
+        assert stats.interval_hits == [0, 0]
+        assert stats.interval_misses == [0, 0]
+        assert stats.interval_evictions == [0, 0]

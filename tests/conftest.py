@@ -1,0 +1,81 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.cache.cache import SharedCache
+from repro.cache.geometry import CacheGeometry
+from repro.cache.replacement.lru import LRUPolicy
+from repro.experiments.runner import clear_standalone_cache
+from repro.workloads.benchmark import BenchmarkProfile
+from repro.workloads.zones import ScanZone, UniformZone
+
+
+@pytest.fixture(autouse=True)
+def _fresh_standalone_cache():
+    """Isolate tests from the runner's cross-test IPC memoisation."""
+    clear_standalone_cache()
+    yield
+    clear_standalone_cache()
+
+
+@pytest.fixture
+def tiny_geometry():
+    """4 KB, 4-way, 64 B blocks -> 64 blocks, 16 sets."""
+    return CacheGeometry(4 << 10, block_bytes=64, assoc=4)
+
+
+@pytest.fixture
+def small_geometry():
+    """16 KB, 8-way -> 256 blocks, 32 sets."""
+    return CacheGeometry(16 << 10, block_bytes=64, assoc=8)
+
+
+@pytest.fixture
+def tiny_cache(tiny_geometry):
+    """Unmanaged 2-core LRU cache on the tiny geometry."""
+    return SharedCache(tiny_geometry, num_cores=2, policy=LRUPolicy())
+
+
+@pytest.fixture
+def quad_cache(small_geometry):
+    """Unmanaged 4-core LRU cache on the small geometry."""
+    return SharedCache(small_geometry, num_cores=4, policy=LRUPolicy())
+
+
+@pytest.fixture
+def friendly_profile():
+    """A small cache-friendly benchmark for fast timing runs."""
+    return BenchmarkProfile(
+        "test.friendly",
+        (UniformZone(0.9, 120), UniformZone(0.1, 8)),
+        mem_ratio=0.05,
+        mlp=1.5,
+        cpi_base=0.5,
+        category="friendly",
+    )
+
+
+@pytest.fixture
+def streaming_profile():
+    """A streaming benchmark (scan far larger than any test cache)."""
+    return BenchmarkProfile(
+        "test.streaming",
+        (ScanZone(0.95, 2000), UniformZone(0.05, 4)),
+        mem_ratio=0.05,
+        mlp=3.0,
+        cpi_base=0.4,
+        category="streaming",
+    )
+
+
+@pytest.fixture
+def insensitive_profile():
+    """A compute-bound benchmark with a tiny footprint."""
+    return BenchmarkProfile(
+        "test.insensitive",
+        (UniformZone(1.0, 8),),
+        mem_ratio=0.005,
+        mlp=1.0,
+        cpi_base=0.4,
+        category="insensitive",
+    )

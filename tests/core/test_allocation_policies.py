@@ -1,0 +1,250 @@
+"""Tests for PriSM's allocation policies (Algorithms 1-3 + extended UCP)."""
+
+import pytest
+
+from repro.cache.shadow import ShadowTagMonitor
+from repro.core.allocation import (
+    AllocationContext,
+    FairnessPolicy,
+    HitMaxPolicy,
+    QOSPolicy,
+    UCPExtendedPolicy,
+)
+from repro.core.allocation.base import normalize_targets
+
+
+def make_shadow(num_cores=4, assoc=8, standalone_hits=None, shared_hits=None,
+                standalone_misses=None, shared_misses=None, position_hits=None):
+    """A shadow monitor with counters set directly (no stream needed)."""
+    monitor = ShadowTagMonitor(num_cores, num_sets=16, assoc=assoc, sample_shift=0)
+    for core in range(num_cores):
+        if position_hits is not None:
+            monitor.position_hits[core] = list(position_hits[core])
+        elif standalone_hits is not None:
+            monitor.position_hits[core][0] = standalone_hits[core]
+        if shared_hits is not None:
+            monitor.shared_hits[core] = shared_hits[core]
+        if standalone_misses is not None:
+            monitor.shadow_misses[core] = standalone_misses[core]
+        if shared_misses is not None:
+            monitor.shared_misses[core] = shared_misses[core]
+    return monitor
+
+
+def make_ctx(num_cores=4, occupancy=None, miss_fractions=None, shadow=None,
+             perf=None, num_blocks=1024, interval=1024):
+    return AllocationContext(
+        num_cores=num_cores,
+        occupancy=occupancy or [1.0 / num_cores] * num_cores,
+        miss_fractions=miss_fractions or [1.0 / num_cores] * num_cores,
+        num_blocks=num_blocks,
+        interval=interval,
+        shadow=shadow or make_shadow(num_cores),
+        perf=perf,
+    )
+
+
+class FakePerf:
+    """Stub performance counters."""
+
+    def __init__(self, cpis, stall_cpis=None, ipcs=None):
+        self._cpis = cpis
+        self._stalls = stall_cpis or [0.0] * len(cpis)
+        self._ipcs = ipcs or [1.0 / c if c else 0.0 for c in cpis]
+
+    def cpi(self, core):
+        return self._cpis[core]
+
+    def llc_stall_cpi(self, core):
+        return self._stalls[core]
+
+    def ipc(self, core):
+        return self._ipcs[core]
+
+
+class TestNormalizeTargets:
+    def test_scales_to_one(self):
+        assert sum(normalize_targets([3.0, 1.0])) == pytest.approx(1.0)
+
+    def test_clips_negatives(self):
+        assert normalize_targets([-1.0, 1.0]) == [0.0, 1.0]
+
+    def test_all_zero_gives_uniform(self):
+        assert normalize_targets([0.0, 0.0]) == [0.5, 0.5]
+
+    def test_empty(self):
+        assert normalize_targets([]) == []
+
+
+class TestHitMax:
+    def test_core_with_all_the_gain_gets_more(self):
+        shadow = make_shadow(2, standalone_hits=[100, 10], shared_hits=[20, 10])
+        ctx = make_ctx(2, occupancy=[0.5, 0.5], shadow=shadow)
+        targets = HitMaxPolicy().compute_targets(ctx)
+        assert targets[0] > targets[1]
+        assert sum(targets) == pytest.approx(1.0)
+
+    def test_algorithm1_formula(self):
+        # Gains 80 and 0 -> T = C * (1 + gain/total) = [0.5*2, 0.5*1] -> [2/3, 1/3].
+        shadow = make_shadow(2, standalone_hits=[100, 10], shared_hits=[20, 10])
+        targets = HitMaxPolicy(occupancy_floor=0.0).compute_targets(
+            make_ctx(2, occupancy=[0.5, 0.5], shadow=shadow)
+        )
+        assert targets == pytest.approx([2 / 3, 1 / 3])
+
+    def test_no_gain_holds_current_shares(self):
+        shadow = make_shadow(2, standalone_hits=[10, 10], shared_hits=[10, 10])
+        ctx = make_ctx(2, occupancy=[0.7, 0.3], shadow=shadow)
+        targets = HitMaxPolicy().compute_targets(ctx)
+        assert targets == pytest.approx([0.7, 0.3])
+
+    def test_negative_gain_floored_at_zero(self):
+        # Shared hits above stand-alone (possible: another core prefetched
+        # shared data) must not produce a negative potential gain.
+        shadow = make_shadow(2, standalone_hits=[5, 50], shared_hits=[20, 10])
+        gains = HitMaxPolicy().potential_gains(make_ctx(2, shadow=shadow))
+        assert gains[0] == 0.0
+        assert gains[1] == 40.0
+
+    def test_occupancy_floor_keeps_squeezed_core_recoverable(self):
+        shadow = make_shadow(2, standalone_hits=[0, 100], shared_hits=[0, 0])
+        ctx = make_ctx(2, occupancy=[0.0, 1.0], shadow=shadow)
+        targets = HitMaxPolicy(occupancy_floor=1.0).compute_targets(ctx)
+        assert targets[0] > 0.0
+
+    def test_rejects_negative_floor(self):
+        with pytest.raises(ValueError):
+            HitMaxPolicy(occupancy_floor=-1.0)
+
+
+class TestFairness:
+    def test_requires_perf(self):
+        with pytest.raises(RuntimeError, match="performance counters"):
+            FairnessPolicy().compute_targets(make_ctx(2))
+
+    def test_slowdown_estimate(self):
+        # CPI_shared=2.0 with 1.0 of LLC stall; alone the misses halve ->
+        # CPI_alone = 1.0 + 0.5 = 1.5; slowdown = 4/3.
+        shadow = make_shadow(1, standalone_misses=[50], shared_misses=[100])
+        perf = FakePerf(cpis=[2.0], stall_cpis=[1.0])
+        ctx = make_ctx(1, shadow=shadow, perf=perf)
+        slowdowns = FairnessPolicy().estimated_slowdowns(ctx)
+        assert slowdowns[0] == pytest.approx(2.0 / 1.5)
+
+    def test_slowed_core_gets_more_space(self):
+        shadow = make_shadow(
+            2, standalone_misses=[10, 100], shared_misses=[100, 100]
+        )
+        perf = FakePerf(cpis=[2.0, 2.0], stall_cpis=[1.0, 1.0])
+        ctx = make_ctx(2, occupancy=[0.5, 0.5], shadow=shadow, perf=perf)
+        targets = FairnessPolicy().compute_targets(ctx)
+        # Core 0's misses grew 10x under sharing -> bigger slowdown -> more space.
+        assert targets[0] > targets[1]
+        assert sum(targets) == pytest.approx(1.0)
+
+    def test_idle_core_treated_as_unslowed(self):
+        perf = FakePerf(cpis=[0.0, 1.0])
+        ctx = make_ctx(2, perf=perf)
+        slowdowns = FairnessPolicy().estimated_slowdowns(ctx)
+        assert slowdowns[0] == 1.0
+
+    def test_slowdown_clamped_at_one(self):
+        # More stand-alone misses than shared (sampling noise) would imply a
+        # speedup from sharing; the policy clamps at no-slowdown.
+        shadow = make_shadow(1, standalone_misses=[200], shared_misses=[100])
+        perf = FakePerf(cpis=[2.0], stall_cpis=[1.0])
+        slowdowns = FairnessPolicy().estimated_slowdowns(make_ctx(1, shadow=shadow, perf=perf))
+        assert slowdowns[0] == 1.0
+
+
+class TestQOS:
+    def test_requires_perf(self):
+        with pytest.raises(RuntimeError):
+            QOSPolicy(target_ipc=1.0).compute_targets(make_ctx(2))
+
+    def test_below_target_grows_by_alpha(self):
+        perf = FakePerf(cpis=[2.0, 1.0], ipcs=[0.5, 1.0])
+        ctx = make_ctx(2, occupancy=[0.4, 0.6], perf=perf)
+        targets = QOSPolicy(target_ipc=1.0, alpha=0.1).compute_targets(ctx)
+        assert targets[0] == pytest.approx(0.44)
+
+    def test_above_target_shrinks_by_beta(self):
+        perf = FakePerf(cpis=[0.5, 1.0], ipcs=[2.0, 1.0])
+        ctx = make_ctx(2, occupancy=[0.4, 0.6], perf=perf)
+        targets = QOSPolicy(target_ipc=1.0, beta=0.1).compute_targets(ctx)
+        assert targets[0] == pytest.approx(0.36)
+
+    def test_deadband_holds_occupancy(self):
+        perf = FakePerf(cpis=[1.0, 1.0], ipcs=[1.02, 1.0])
+        ctx = make_ctx(2, occupancy=[0.4, 0.6], perf=perf)
+        targets = QOSPolicy(target_ipc=1.0, deadband=0.05).compute_targets(ctx)
+        assert targets[0] == pytest.approx(0.4)
+
+    def test_others_share_the_remainder(self):
+        perf = FakePerf(cpis=[2.0, 1.0, 1.0], ipcs=[0.5, 1.0, 1.0])
+        shadow = make_shadow(3, standalone_hits=[0, 100, 50], shared_hits=[0, 10, 40])
+        ctx = make_ctx(3, occupancy=[0.5, 0.25, 0.25], shadow=shadow, perf=perf)
+        targets = QOSPolicy(target_ipc=1.0).compute_targets(ctx)
+        assert sum(targets) == pytest.approx(1.0)
+        # Core 1 has more hit-max gain than core 2.
+        assert targets[1] > targets[2]
+
+    def test_max_occupancy_cap(self):
+        perf = FakePerf(cpis=[2.0, 1.0], ipcs=[0.5, 1.0])
+        ctx = make_ctx(2, occupancy=[0.95, 0.05], perf=perf)
+        targets = QOSPolicy(target_ipc=1.0, max_occupancy=0.9).compute_targets(ctx)
+        assert targets[0] <= 0.9
+
+    def test_qos_core_out_of_range(self):
+        perf = FakePerf(cpis=[1.0], ipcs=[1.0])
+        with pytest.raises(ValueError):
+            QOSPolicy(target_ipc=1.0, qos_core=5).compute_targets(make_ctx(1, perf=perf))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            QOSPolicy(target_ipc=0.0)
+        with pytest.raises(ValueError):
+            QOSPolicy(target_ipc=1.0, qos_core=-1)
+        with pytest.raises(ValueError):
+            QOSPolicy(target_ipc=1.0, max_occupancy=1.5)
+
+
+class TestUCPExtended:
+    def test_targets_sum_to_one(self):
+        position_hits = [
+            [50, 30, 10, 5, 1, 0, 0, 0],
+            [5, 5, 5, 5, 5, 5, 5, 5],
+            [100, 0, 0, 0, 0, 0, 0, 0],
+            [0, 0, 0, 0, 0, 0, 0, 0],
+        ]
+        shadow = make_shadow(4, position_hits=position_hits)
+        targets = UCPExtendedPolicy(granularity=4).compute_targets(make_ctx(4, shadow=shadow))
+        assert sum(targets) == pytest.approx(1.0)
+        assert all(t > 0 for t in targets)
+
+    def test_high_utility_core_wins(self):
+        position_hits = [
+            [100, 80, 60, 40, 20, 10, 5, 1],
+            [1, 0, 0, 0, 0, 0, 0, 0],
+        ]
+        shadow = make_shadow(2, position_hits=position_hits)
+        targets = UCPExtendedPolicy().compute_targets(make_ctx(2, shadow=shadow))
+        assert targets[0] > 0.7
+
+    def test_finer_granularity_than_ways(self):
+        # With granularity 4 the allocation can sit between way multiples.
+        position_hits = [
+            [10, 10, 10, 10, 10, 10, 10, 10],
+            [11, 11, 11, 11, 11, 11, 11, 11],
+        ]
+        shadow = make_shadow(2, position_hits=position_hits)
+        targets = UCPExtendedPolicy(granularity=4).compute_targets(make_ctx(2, shadow=shadow))
+        quarter = 1.0 / (8 * 4)
+        # Targets are multiples of a quarter-way, not only whole ways.
+        assert targets[0] % (1.0 / 8) != pytest.approx(0.0) or targets[0] == pytest.approx(
+            round(targets[0] / quarter) * quarter
+        )
+
+    def test_rejects_bad_granularity(self):
+        with pytest.raises(ValueError):
+            UCPExtendedPolicy(granularity=0)

@@ -1,0 +1,76 @@
+"""Tests for the BalancedPolicy extension (hit-max / fairness blend)."""
+
+import pytest
+
+from repro.core.allocation import BalancedPolicy, FairnessPolicy, HitMaxPolicy
+from repro.experiments.configs import machine
+from repro.experiments.runner import run_workload
+from repro.experiments.schemes import SCHEMES, SchemeSpec
+from tests.core.test_allocation_policies import FakePerf, make_ctx, make_shadow
+
+
+def blend_ctx():
+    # Core 0: big hit-max gain; core 1: big slowdown. The two components
+    # pull in opposite directions.
+    shadow = make_shadow(
+        2,
+        standalone_hits=[200, 20],
+        shared_hits=[50, 18],
+        standalone_misses=[10, 10],
+        shared_misses=[20, 100],
+    )
+    perf = FakePerf(cpis=[1.2, 3.0], stall_cpis=[0.4, 2.0])
+    return make_ctx(2, occupancy=[0.5, 0.5], shadow=shadow, perf=perf)
+
+
+class TestBalancedPolicy:
+    def test_balance_validated(self):
+        with pytest.raises(ValueError):
+            BalancedPolicy(balance=1.5)
+
+    def test_extremes_delegate(self):
+        ctx = blend_ctx()
+        assert BalancedPolicy(0.0).compute_targets(ctx) == HitMaxPolicy().compute_targets(ctx)
+        assert BalancedPolicy(1.0).compute_targets(ctx) == pytest.approx(
+            FairnessPolicy().compute_targets(ctx)
+        )
+
+    def test_blend_between_components(self):
+        ctx = blend_ctx()
+        hit = HitMaxPolicy().compute_targets(ctx)
+        fair = FairnessPolicy().compute_targets(ctx)
+        mid = BalancedPolicy(0.5).compute_targets(ctx)
+        lo, hi = sorted([hit[0], fair[0]])
+        assert lo <= mid[0] <= hi
+        assert sum(mid) == pytest.approx(1.0)
+
+    def test_monotone_in_balance(self):
+        ctx = blend_ctx()
+        t0 = [BalancedPolicy(b).compute_targets(ctx)[0] for b in (0.0, 0.25, 0.5, 0.75, 1.0)]
+        assert t0 == sorted(t0) or t0 == sorted(t0, reverse=True)
+
+    def test_requires_perf_when_blending(self):
+        ctx = blend_ctx()
+        ctx.perf = None
+        with pytest.raises(RuntimeError):
+            BalancedPolicy(0.5).compute_targets(ctx)
+
+    def test_end_to_end_sits_between_extremes(self):
+        """On a contended quad mix the blend's fairness lands at or above
+        hit-max's, and its ANTT at or below fairness's (within noise)."""
+        from repro.core.prism import PrismScheme
+        from repro.cache.replacement import LRUPolicy
+
+        def factory(num_cores, sp, **kwargs):
+            return PrismScheme(BalancedPolicy(0.5)), LRUPolicy()
+
+        SCHEMES["prism-balanced"] = SchemeSpec("prism-balanced", factory, "blend test")
+        try:
+            cfg = machine(4, instructions=200_000)
+            hit = run_workload("Q5", cfg, "prism-h")
+            fair = run_workload("Q5", cfg, "prism-f")
+            blend = run_workload("Q5", cfg, "prism-balanced")
+            assert blend.fairness >= min(hit.fairness, fair.fairness) - 0.05
+            assert blend.antt <= max(hit.antt, fair.antt) + 0.05
+        finally:
+            del SCHEMES["prism-balanced"]

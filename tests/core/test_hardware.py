@@ -1,0 +1,63 @@
+"""Tests for the hardware-cost model (§3.4 quantified)."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.core.hardware import SchemeCost, common_monitor_bits, scheme_costs
+
+PAPER_16C = CacheGeometry(8 << 20, 64, 32)  # the paper's 16-core LLC
+
+
+class TestCommonMonitors:
+    def test_scales_with_cores_and_sampling(self):
+        a = common_monitor_bits(PAPER_16C, 4)
+        b = common_monitor_bits(PAPER_16C, 16)
+        assert b == pytest.approx(4 * a)
+        dense = common_monitor_bits(PAPER_16C, 4, sample_ratio=8)
+        assert dense > a
+
+
+class TestSchemeCosts:
+    def test_all_schemes_present(self):
+        costs = scheme_costs(PAPER_16C, 16)
+        assert {"prism", "waypart", "ucp", "pipp", "vantage", "dip", "tadip"} <= set(costs)
+
+    def test_totals_positive_and_consistent(self):
+        for cost in scheme_costs(PAPER_16C, 16).values():
+            assert cost.total_bits > 0
+            assert cost.total_bits == pytest.approx(
+                cost.per_block_bits + cost.global_bits + cost.monitor_bits
+            )
+            assert cost.total_kib() == pytest.approx(cost.total_bits / 8192)
+
+    def test_prism_comparable_to_ucp(self):
+        """§3.4's claim: PriSM ~ way-partitioning-class hardware. Beyond
+        UCP's structures PriSM adds only K bits/core + an RNG."""
+        costs = scheme_costs(PAPER_16C, 16, probability_bits=8)
+        extra = costs["prism"].total_bits - costs["ucp"].total_bits
+        assert 0 < extra < 16 * 8 + 16 + 64  # probabilities + LFSR + counter
+
+    def test_vantage_dominates_per_block_state(self):
+        """Vantage's per-block timestamps/region bits dwarf everyone
+        else's core-id tags — the paper's hardware argument."""
+        costs = scheme_costs(PAPER_16C, 16)
+        assert costs["vantage"].per_block_bits > 2 * costs["prism"].per_block_bits
+        assert costs["vantage"].total_bits > costs["prism"].total_bits
+
+    def test_dip_is_nearly_free(self):
+        costs = scheme_costs(PAPER_16C, 16)
+        assert costs["dip"].total_bits < 100
+
+    def test_probability_width_effect_is_tiny(self):
+        six = scheme_costs(PAPER_16C, 16, probability_bits=6)["prism"].total_bits
+        twelve = scheme_costs(PAPER_16C, 16, probability_bits=12)["prism"].total_bits
+        assert twelve - six == 16 * 6  # 6 extra bits per core, nothing else
+
+    def test_paper_scale_magnitudes(self):
+        """Sanity: at the paper's 16-core machine, PriSM's total overhead
+        sits in the hundreds-of-KiB range dominated by shadow tags, and
+        the PriSM-specific state is ~a dozen bytes."""
+        costs = scheme_costs(PAPER_16C, 16)
+        assert 50 < costs["prism"].total_kib() < 2000
+        prism_specific = 16 * 8 + 16 + 32
+        assert prism_specific / 8 < 40  # bytes

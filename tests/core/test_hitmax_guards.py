@@ -1,0 +1,92 @@
+"""Tests for PriSM-H's knee-protection and thrash-discount guards."""
+
+import pytest
+
+from repro.core.allocation import HitMaxPolicy
+from tests.core.test_allocation_policies import make_ctx, make_shadow
+
+
+class TestUtilityKnees:
+    def test_knee_at_first_way_for_concentrated_curve(self):
+        shadow = make_shadow(2, position_hits=[[100, 0, 0, 0, 0, 0, 0, 0],
+                                               [0, 0, 0, 0, 0, 0, 0, 0]])
+        knees = HitMaxPolicy().utility_knees(make_ctx(2, shadow=shadow))
+        assert knees[0] == pytest.approx(1 / 8)
+        assert knees[1] == 0.0  # no hits, no knee
+
+    def test_knee_at_full_assoc_for_flat_curve(self):
+        shadow = make_shadow(1, position_hits=[[10] * 8])
+        knees = HitMaxPolicy(knee_quantile=0.95).utility_knees(make_ctx(1, shadow=shadow))
+        assert knees[0] == 1.0
+
+    def test_quantile_moves_knee(self):
+        shadow = make_shadow(1, position_hits=[[50, 30, 10, 5, 3, 1, 1, 0]])
+        loose = HitMaxPolicy(knee_quantile=0.80).utility_knees(make_ctx(1, shadow=shadow))
+        tight = HitMaxPolicy(knee_quantile=0.99).utility_knees(make_ctx(1, shadow=shadow))
+        assert loose[0] < tight[0]
+
+
+class TestKneeProtection:
+    def test_small_core_floored_at_knee(self):
+        # Core 0: tiny, satisfied by 2/8 ways; core 1: huge gains hog Alg 1.
+        shadow = make_shadow(
+            2,
+            position_hits=[[40, 30, 0, 0, 0, 0, 0, 0], [500, 100, 80, 60, 40, 30, 20, 10]],
+            shared_hits=[10, 100],
+        )
+        ctx = make_ctx(2, occupancy=[0.05, 0.95], shadow=shadow)
+        targets = HitMaxPolicy().compute_targets(ctx)
+        assert targets[0] >= 2 / 8 - 1e-9  # floored at its knee
+        assert sum(targets) == pytest.approx(1.0)
+
+    def test_pure_mode_skips_protection(self):
+        shadow = make_shadow(
+            2,
+            position_hits=[[40, 30, 0, 0, 0, 0, 0, 0], [500, 100, 80, 60, 40, 30, 20, 10]],
+            shared_hits=[10, 100],
+        )
+        ctx = make_ctx(2, occupancy=[0.05, 0.95], shadow=shadow)
+        targets = HitMaxPolicy(pure=True).compute_targets(ctx)
+        assert targets[0] < 2 / 8  # literal Alg. 1 leaves it under the knee
+
+    def test_big_knee_core_not_floored(self):
+        # Knee above the cap (1.5 / 2 cores = 0.75 -> 6/8 ways qualifies,
+        # 8/8 does not).
+        shadow = make_shadow(2, position_hits=[[10] * 8, [100, 0, 0, 0, 0, 0, 0, 0]])
+        ctx = make_ctx(2, occupancy=[0.1, 0.9], shadow=shadow)
+        policy = HitMaxPolicy(protect_cap_mult=1.0)
+        knees = policy.utility_knees(ctx)
+        assert knees[0] == 1.0
+        targets = policy.compute_targets(ctx)
+        assert targets[0] < 1.0  # flat-curve core got no full-cache floor
+
+    def test_infeasible_floors_fall_back_to_alg1(self):
+        # Both cores demand large floors; donors can't cover -> plain Alg 1.
+        shadow = make_shadow(
+            2, position_hits=[[10, 10, 10, 10, 10, 0, 0, 0]] * 2, shared_hits=[0, 0]
+        )
+        ctx = make_ctx(2, occupancy=[0.5, 0.5], shadow=shadow)
+        targets = HitMaxPolicy(protect_cap_mult=2.0).compute_targets(ctx)
+        assert sum(targets) == pytest.approx(1.0)
+
+
+class TestThrashDiscount:
+    def test_unsaturable_core_discounted(self):
+        # Core 0's curve is flat to the last way (no knee inside the cache):
+        # a thrasher. Core 1 saturates early.
+        shadow = make_shadow(
+            2,
+            position_hits=[[50] * 8, [200, 100, 0, 0, 0, 0, 0, 0]],
+            shared_hits=[0, 0],
+        )
+        ctx = make_ctx(2, occupancy=[0.5, 0.5], shadow=shadow)
+        discounted = HitMaxPolicy(thrash_discount=0.1).compute_targets(ctx)
+        undiscounted = HitMaxPolicy(thrash_discount=1.0).compute_targets(ctx)
+        assert discounted[0] < undiscounted[0]
+        assert discounted[1] > undiscounted[1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HitMaxPolicy(knee_quantile=0.0)
+        with pytest.raises(ValueError):
+            HitMaxPolicy(thrash_discount=1.5)

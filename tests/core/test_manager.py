@@ -1,0 +1,168 @@
+"""Tests for the probabilistic cache manager (core-selection step)."""
+
+import pytest
+
+from repro.cache.cacheset import CacheSet
+from repro.cache.replacement.lru import LRUPolicy
+from repro.core.manager import ProbabilisticCacheManager
+
+
+def full_set(owners):
+    """A full set whose blocks (MRU->LRU) belong to the given cores."""
+    cset = CacheSet(0, len(owners))
+    for tag, core in enumerate(owners):
+        cset.fill(tag, core=core, position=len(cset.blocks))
+    return cset
+
+
+class TestDistribution:
+    def test_starts_uniform(self):
+        manager = ProbabilisticCacheManager(4)
+        assert manager.probabilities == [0.25] * 4
+
+    def test_rejects_wrong_length(self):
+        manager = ProbabilisticCacheManager(2)
+        with pytest.raises(ValueError, match="expected 2"):
+            manager.set_distribution([1.0])
+
+    def test_rejects_negative(self):
+        manager = ProbabilisticCacheManager(2)
+        with pytest.raises(ValueError, match="negative"):
+            manager.set_distribution([1.5, -0.5])
+
+    def test_rejects_bad_sum(self):
+        manager = ProbabilisticCacheManager(2)
+        with pytest.raises(ValueError, match="sum"):
+            manager.set_distribution([0.4, 0.4])
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ValueError):
+            ProbabilisticCacheManager(0)
+
+
+class TestSampling:
+    def test_degenerate_distribution_always_selects_that_core(self):
+        manager = ProbabilisticCacheManager(3, seed=1)
+        manager.set_distribution([0.0, 1.0, 0.0])
+        assert all(manager.sample_core() == 1 for _ in range(200))
+
+    def test_sampling_matches_distribution(self):
+        manager = ProbabilisticCacheManager(3, seed=2)
+        manager.set_distribution([0.5, 0.3, 0.2])
+        counts = [0, 0, 0]
+        n = 30000
+        for _ in range(n):
+            counts[manager.sample_core()] += 1
+        assert counts[0] / n == pytest.approx(0.5, abs=0.02)
+        assert counts[1] / n == pytest.approx(0.3, abs=0.02)
+        assert counts[2] / n == pytest.approx(0.2, abs=0.02)
+
+    def test_deterministic_under_seed(self):
+        a = ProbabilisticCacheManager(4, seed=7)
+        b = ProbabilisticCacheManager(4, seed=7)
+        assert [a.sample_core() for _ in range(100)] == [
+            b.sample_core() for _ in range(100)
+        ]
+
+    def test_zero_probability_core_never_sampled(self):
+        manager = ProbabilisticCacheManager(4, seed=3)
+        manager.set_distribution([0.0, 0.5, 0.5, 0.0])
+        samples = {manager.sample_core() for _ in range(5000)}
+        assert samples <= {1, 2}
+
+
+class TestVictimSelection:
+    def test_victim_belongs_to_sampled_core(self):
+        manager = ProbabilisticCacheManager(2, seed=4)
+        manager.set_distribution([0.0, 1.0])
+        cset = full_set([0, 1, 0, 1])
+        victim = manager.select_victim(cset, LRUPolicy())
+        assert victim.core == 1
+
+    def test_victim_is_lru_most_of_selected_core(self):
+        manager = ProbabilisticCacheManager(2, seed=4)
+        manager.set_distribution([0.0, 1.0])
+        # MRU->LRU: [1, 0, 1, 0]; core 1's LRU-most block is at position 2.
+        cset = full_set([1, 0, 1, 0])
+        victim = manager.select_victim(cset, LRUPolicy())
+        assert victim is cset.blocks[2]
+
+    def test_paper_fallback_when_core_absent(self):
+        manager = ProbabilisticCacheManager(2, seed=4, fallback="paper")
+        manager.set_distribution([0.4, 0.6])
+        cset = full_set([0, 0, 0, 0])
+        before = manager.victim_not_found
+        # Force the sampled core to be 1 by monkeypatching the RNG draw.
+        manager._rng.random = lambda: 0.99  # lands on core 1
+        victim = manager.select_victim(cset, LRUPolicy())
+        assert victim.core == 0  # fallback: first candidate with E > 0
+        assert manager.victim_not_found == before + 1
+
+    def test_paper_fallback_skips_zero_probability_cores(self):
+        manager = ProbabilisticCacheManager(3, seed=4, fallback="paper")
+        manager.set_distribution([0.0, 0.5, 0.5])
+        # Set holds cores 0 and 1; if core 2 is sampled, fallback must pick
+        # core 1 (E>0), never core 0 (E=0) — even though core 0's block is
+        # the LRU-most candidate.
+        cset = full_set([1, 1, 0, 0])
+        manager._rng.random = lambda: 0.99  # samples core 2
+        victim = manager.select_victim(cset, LRUPolicy())
+        assert victim.core == 1
+
+    def test_resample_fallback_counts_not_found(self):
+        manager = ProbabilisticCacheManager(2, seed=4)
+        manager.set_distribution([0.0, 1.0])
+        cset = full_set([0, 0, 0, 0])
+        victim = manager.select_victim(cset, LRUPolicy())
+        # Core 1 never present: E restricted to present cores is empty
+        # (core 0 has E=0) -> baseline victim, still counted as not-found.
+        assert victim is cset.blocks[-1]
+        assert manager.victim_not_found == 1
+
+    def test_resample_fallback_skips_zero_probability_cores(self):
+        manager = ProbabilisticCacheManager(3, seed=4)
+        manager.set_distribution([0.0, 0.5, 0.5])
+        cset = full_set([1, 1, 0, 0])
+        for draw in (0.99, 0.95):  # both sample absent core 2
+            manager._rng.random = lambda d=draw: d
+            victim = manager.select_victim(cset, LRUPolicy())
+            assert victim.core == 1  # core 0 has E == 0, never chosen
+
+    def test_resample_fallback_proportional_to_e(self):
+        manager = ProbabilisticCacheManager(3, seed=4)
+        manager.set_distribution([0.0, 0.25, 0.75])
+        # Core 0 sampled-for never; cores 1, 2 present; force not-found by
+        # restricting the set to cores 1 and 2 and sampling core 0... core 0
+        # has E=0 so it is never sampled; instead make the set hold only
+        # core 1 and sample core 2's complement. Simpler: set holds only
+        # core 1 -> whenever core 2 is sampled, resample must pick core 1.
+        cset = full_set([1, 1, 1, 1])
+        for _ in range(50):
+            assert manager.select_victim(cset, LRUPolicy()).core == 1
+
+    def test_invalid_fallback_rejected(self):
+        with pytest.raises(ValueError, match="fallback"):
+            ProbabilisticCacheManager(2, fallback="bogus")
+
+    def test_last_resort_baseline_victim(self):
+        manager = ProbabilisticCacheManager(3, seed=4)
+        manager.set_distribution([0.0, 0.0, 1.0])
+        cset = full_set([0, 1, 0, 1])  # nobody in the set has E > 0... except none
+        victim = manager.select_victim(cset, LRUPolicy())
+        # Falls through to the baseline LRU victim (the LRU-most block).
+        assert victim is cset.blocks[-1]
+
+    def test_not_found_rate(self):
+        manager = ProbabilisticCacheManager(2, seed=4)
+        assert manager.victim_not_found_rate() == 0.0
+        manager.set_distribution([0.0, 1.0])
+        cset = full_set([0, 0, 0, 0])
+        manager.select_victim(cset, LRUPolicy())  # must fall back
+        assert manager.victim_not_found_rate() == 1.0
+
+    def test_replacements_counted(self):
+        manager = ProbabilisticCacheManager(2, seed=4)
+        cset = full_set([0, 1, 0, 1])
+        for _ in range(5):
+            manager.select_victim(cset, LRUPolicy())
+        assert manager.replacements == 5

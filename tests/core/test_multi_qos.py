@@ -1,0 +1,91 @@
+"""Tests for the multi-core QoS extension."""
+
+import pytest
+
+from repro.cache.cache import SharedCache
+from repro.cache.geometry import CacheGeometry
+from repro.core import PrismScheme
+from repro.core.allocation import MultiQOSPolicy
+from repro.cpu.memory import MemoryModel
+from repro.cpu.system import MultiCoreSystem
+from repro.workloads.spec import get_profile
+from tests.core.test_allocation_policies import FakePerf, make_ctx, make_shadow
+
+
+class TestValidation:
+    def test_needs_targets(self):
+        with pytest.raises(ValueError):
+            MultiQOSPolicy({})
+
+    def test_rejects_bad_core_or_ipc(self):
+        with pytest.raises(ValueError):
+            MultiQOSPolicy({-1: 1.0})
+        with pytest.raises(ValueError):
+            MultiQOSPolicy({0: 0.0})
+
+    def test_core_out_of_range(self):
+        policy = MultiQOSPolicy({7: 1.0})
+        perf = FakePerf(cpis=[1.0] * 4, ipcs=[1.0] * 4)
+        with pytest.raises(ValueError, match="out of range"):
+            policy.compute_targets(make_ctx(4, perf=perf))
+
+    def test_everyone_guaranteed_rejected(self):
+        policy = MultiQOSPolicy({0: 1.0, 1: 1.0})
+        perf = FakePerf(cpis=[1.0, 1.0], ipcs=[1.0, 1.0])
+        with pytest.raises(ValueError, match="best-effort"):
+            policy.compute_targets(make_ctx(2, perf=perf))
+
+    def test_requires_perf(self):
+        with pytest.raises(RuntimeError):
+            MultiQOSPolicy({0: 1.0}).compute_targets(make_ctx(4))
+
+
+class TestControlRules:
+    def test_under_target_cores_grow(self):
+        policy = MultiQOSPolicy({0: 1.0, 1: 1.0}, alpha=0.1)
+        perf = FakePerf(cpis=[2.0, 0.5, 1.0, 1.0], ipcs=[0.5, 2.0, 1.0, 1.0])
+        ctx = make_ctx(4, occupancy=[0.2, 0.2, 0.3, 0.3], perf=perf)
+        targets = policy.compute_targets(ctx)
+        assert targets[0] == pytest.approx(0.22)  # under target: +10%
+        assert targets[1] == pytest.approx(0.18)  # over target: -10%
+        assert sum(targets) == pytest.approx(1.0)
+
+    def test_admission_control_scales_back(self):
+        policy = MultiQOSPolicy({0: 10.0, 1: 10.0}, max_total_occupancy=0.5)
+        perf = FakePerf(cpis=[1.0] * 4, ipcs=[1.0] * 4)
+        ctx = make_ctx(4, occupancy=[0.4, 0.4, 0.1, 0.1], perf=perf)
+        targets = policy.compute_targets(ctx)
+        assert targets[0] + targets[1] == pytest.approx(0.5)
+        # Proportionality preserved.
+        assert targets[0] == pytest.approx(targets[1])
+
+    def test_best_effort_share_follows_hitmax(self):
+        policy = MultiQOSPolicy({0: 1.0})
+        shadow = make_shadow(3, standalone_hits=[0, 100, 10], shared_hits=[0, 10, 8])
+        perf = FakePerf(cpis=[1.0] * 3, ipcs=[1.0] * 3)
+        ctx = make_ctx(3, occupancy=[0.4, 0.3, 0.3], shadow=shadow, perf=perf)
+        targets = policy.compute_targets(ctx)
+        assert targets[1] > targets[2]  # bigger gain -> bigger share
+
+
+class TestEndToEnd:
+    def test_two_guarantees_both_held(self):
+        """Two cores with reachable IPC floors are both held at/near their
+        targets while the best-effort cores absorb the pressure."""
+        geometry = CacheGeometry(64 << 10, 64, 16)
+        names = ["300.twolf", "175.vpr", "470.lbm", "429.mcf"]
+        profiles = [get_profile(n) for n in names]
+
+        def run(policy):
+            cache = SharedCache(geometry, 4)
+            if policy is not None:
+                cache.set_scheme(PrismScheme(policy))
+            system = MultiCoreSystem(cache, profiles, seed=3, memory=MemoryModel(1))
+            return system.run(250_000)
+
+        target = 0.45
+        qos = run(MultiQOSPolicy({0: target, 1: target}))
+        for core in (0, 1):
+            assert qos.cores[core].ipc >= target * 0.93
+        # Guaranteed cores hold substantial cache; the streamer does not.
+        assert qos.cores[0].occupancy_at_finish > qos.cores[2].occupancy_at_finish

@@ -1,0 +1,88 @@
+"""Tests for K-bit probability quantisation (Fig. 12's mechanism)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.quantize import dequantize, quantize_distribution
+
+
+class TestQuantize:
+    def test_exact_levels(self):
+        levels = quantize_distribution([0.0, 1.0], bits=8)
+        assert levels == [0, 255]
+
+    def test_rounding_to_nearest(self):
+        levels = quantize_distribution([0.5], bits=2)  # scale 3 -> 1.5 rounds to 2
+        assert levels == [2]
+
+    def test_rejects_bad_bits(self):
+        with pytest.raises(ValueError):
+            quantize_distribution([0.5], bits=0)
+
+    def test_rejects_out_of_range_probability(self):
+        with pytest.raises(ValueError):
+            quantize_distribution([1.2], bits=4)
+        with pytest.raises(ValueError):
+            quantize_distribution([-0.1], bits=4)
+
+    def test_all_zero_rounding_forces_a_victim(self):
+        # Tiny probabilities that all round to 0: hardware still needs
+        # someone to evict, so the largest entry gets level 1.
+        levels = quantize_distribution([0.003, 0.001, 0.002], bits=6)
+        assert sum(levels) == 1
+        assert levels[0] == 1  # the largest probability won
+
+    def test_empty_vector(self):
+        assert quantize_distribution([], bits=6) == []
+
+
+class TestDequantize:
+    def test_normalised(self):
+        probs = dequantize([1, 3], bits=4)
+        assert probs == pytest.approx([0.25, 0.75])
+
+    def test_all_zero_gives_uniform(self):
+        assert dequantize([0, 0], bits=4) == [0.5, 0.5]
+
+    def test_rejects_out_of_range_levels(self):
+        with pytest.raises(ValueError):
+            dequantize([16], bits=4)
+        with pytest.raises(ValueError):
+            dequantize([-1], bits=4)
+
+    def test_empty(self):
+        assert dequantize([], bits=6) == []
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("bits", [6, 8, 10, 12])
+    def test_roundtrip_error_bounded(self, bits):
+        """Per-entry error of quantise-then-renormalise is O(2^-bits)."""
+        original = [0.151, 0.287, 0.535, 0.027]
+        recovered = dequantize(quantize_distribution(original, bits), bits)
+        bound = len(original) / ((1 << bits) - 1)
+        for a, b in zip(original, recovered):
+            assert abs(a - b) <= bound
+
+    @given(
+        st.lists(st.floats(0.0, 1.0), min_size=1, max_size=32),
+        st.sampled_from([6, 8, 10, 12]),
+    )
+    def test_roundtrip_always_a_distribution(self, raw, bits):
+        total = sum(raw)
+        probs = [x / total for x in raw] if total > 0 else [1.0 / len(raw)] * len(raw)
+        recovered = dequantize(quantize_distribution(probs, bits), bits)
+        assert sum(recovered) == pytest.approx(1.0)
+        assert all(0.0 <= p <= 1.0 for p in recovered)
+
+    @given(st.lists(st.floats(0.001, 1.0), min_size=2, max_size=16))
+    def test_more_bits_never_hurts(self, raw):
+        """12-bit error is no larger than 6-bit error (up to float noise)."""
+        total = sum(raw)
+        probs = [x / total for x in raw]
+
+        def max_err(bits):
+            rec = dequantize(quantize_distribution(probs, bits), bits)
+            return max(abs(a - b) for a, b in zip(probs, rec))
+
+        assert max_err(12) <= max_err(6) + 1e-9

@@ -1,0 +1,77 @@
+"""Tests for the per-core timing model."""
+
+import pytest
+
+from repro.cpu.core_model import CoreTimingModel
+from repro.workloads.benchmark import BenchmarkProfile
+from repro.workloads.zones import UniformZone
+
+
+def profile(cpi_base=0.5, mlp=2.0):
+    return BenchmarkProfile(
+        "t", (UniformZone(1.0, 16),), mem_ratio=0.02, mlp=mlp, cpi_base=cpi_base
+    )
+
+
+class TestAdvance:
+    def test_hit_accounting(self):
+        core = CoreTimingModel(0, profile(cpi_base=0.5), llc_hit_latency=8.0)
+        core.advance(100, hit=True)
+        assert core.instructions == 100
+        assert core.cycles == pytest.approx(100 * 0.5 + 8.0)
+        assert core.llc_stall_cycles == 0.0
+
+    def test_miss_accounting_divides_by_mlp(self):
+        core = CoreTimingModel(0, profile(mlp=2.0), llc_hit_latency=8.0)
+        core.advance(100, hit=False, mem_latency=200.0)
+        assert core.cycles == pytest.approx(50.0 + 8.0 + 100.0)
+        assert core.llc_stall_cycles == pytest.approx(100.0)
+
+    def test_stall_excludes_hit_latency(self):
+        # CPI_llc counts only the *extra* cycles a miss costs beyond a hit,
+        # matching the Algorithm-2 decomposition.
+        core = CoreTimingModel(0, profile(mlp=1.0), llc_hit_latency=10.0)
+        core.advance(10, hit=False, mem_latency=100.0)
+        assert core.llc_stall_cycles == pytest.approx(100.0)
+
+    def test_cycles_strictly_increase(self):
+        core = CoreTimingModel(0, profile())
+        last = 0.0
+        for i in range(100):
+            core.advance(5, hit=(i % 2 == 0), mem_latency=200.0)
+            assert core.cycles > last
+            last = core.cycles
+
+    def test_rejects_negative_hit_latency(self):
+        with pytest.raises(ValueError):
+            CoreTimingModel(0, profile(), llc_hit_latency=-1.0)
+
+
+class TestReporting:
+    def test_ipc_cpi_consistent(self):
+        core = CoreTimingModel(0, profile(cpi_base=1.0))
+        core.advance(100, hit=True)
+        assert core.ipc() == pytest.approx(1.0 / core.cpi())
+
+    def test_zero_instruction_guard(self):
+        core = CoreTimingModel(0, profile())
+        assert core.ipc() == 0.0
+        assert core.cpi() == 0.0
+
+    def test_finish_freezes_reported_figures(self):
+        core = CoreTimingModel(0, profile())
+        core.advance(100, hit=True)
+        ipc_at_finish = core.ipc()
+        core.mark_finished()
+        core.advance(1000, hit=False, mem_latency=400.0)  # keeps running
+        assert core.ipc() == pytest.approx(ipc_at_finish)
+        assert core.instructions == 1100  # live counter still advances
+
+    def test_mark_finished_idempotent(self):
+        core = CoreTimingModel(0, profile())
+        core.advance(10, hit=True)
+        core.mark_finished()
+        first = core.finish_cycles
+        core.advance(10, hit=True)
+        core.mark_finished()
+        assert core.finish_cycles == first

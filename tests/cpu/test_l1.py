@@ -1,0 +1,88 @@
+"""Tests for the optional private L1 filter."""
+
+import pytest
+
+from repro.cache.cache import SharedCache
+from repro.cache.geometry import CacheGeometry
+from repro.cpu.l1 import L1Cache
+from repro.cpu.system import MultiCoreSystem
+from repro.util.rng import make_rng
+
+
+@pytest.fixture
+def l1():
+    return L1Cache(CacheGeometry(1 << 10, 64, 2))  # 16 blocks, 8 sets
+
+
+class TestL1Cache:
+    def test_first_touch_misses_then_hits(self, l1):
+        assert not l1.access(100)
+        assert l1.access(100)
+        assert l1.hits == 1 and l1.misses == 1
+
+    def test_lru_within_set(self, l1):
+        sets = l1.geometry.num_sets
+        l1.access(0)
+        l1.access(sets)       # same set, second way
+        l1.access(2 * sets)   # evicts tag of addr 0
+        assert not l1.access(0)
+        assert l1.access(sets * 2)
+
+    def test_invalidate(self, l1):
+        l1.access(5)
+        assert l1.resident(5)
+        l1.invalidate(5)
+        assert not l1.resident(5)
+        l1.invalidate(5)  # idempotent
+
+    def test_hit_rate(self, l1):
+        assert l1.hit_rate() == 0.0
+        l1.access(1)
+        l1.access(1)
+        assert l1.hit_rate() == 0.5
+
+    def test_small_working_set_fully_cached(self, l1):
+        rng = make_rng(1, "l1")
+        for _ in range(2000):
+            l1.access(rng.randrange(8))  # 8 blocks across 8 sets
+        assert l1.hit_rate() > 0.95
+
+
+class TestSystemWithL1:
+    def test_l1_filters_llc_traffic(self, friendly_profile):
+        geometry = CacheGeometry(8 << 10, 64, 8)
+
+        def llc_accesses(l1_geometry):
+            cache = SharedCache(geometry, 1)
+            system = MultiCoreSystem(
+                cache, [friendly_profile], seed=3, l1_geometry=l1_geometry
+            )
+            system.run(20000)
+            return cache.stats.accesses(0)
+
+        unfiltered = llc_accesses(None)
+        filtered = llc_accesses(CacheGeometry(2 << 10, 64, 2))
+        assert filtered < unfiltered * 0.9
+
+    def test_l1_hits_still_retire_instructions(self, friendly_profile):
+        geometry = CacheGeometry(8 << 10, 64, 8)
+        cache = SharedCache(geometry, 1)
+        system = MultiCoreSystem(
+            cache, [friendly_profile], seed=3,
+            l1_geometry=CacheGeometry(2 << 10, 64, 2),
+        )
+        result = system.run(20000)
+        assert result.cores[0].instructions >= 20000
+        assert system.l1s[0].hits > 0
+
+    def test_l1_improves_ipc(self, friendly_profile):
+        geometry = CacheGeometry(8 << 10, 64, 8)
+
+        def ipc(l1_geometry):
+            cache = SharedCache(geometry, 1)
+            system = MultiCoreSystem(
+                cache, [friendly_profile], seed=3, l1_geometry=l1_geometry
+            )
+            return system.run(20000).cores[0].ipc
+
+        assert ipc(CacheGeometry(2 << 10, 64, 2)) > ipc(None)

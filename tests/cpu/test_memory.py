@@ -1,0 +1,61 @@
+"""Tests for the DRAM contention model."""
+
+import pytest
+
+from repro.cpu.memory import MemoryModel
+
+
+class TestMemoryModel:
+    def test_unloaded_latency_is_base(self):
+        memory = MemoryModel(num_controllers=1, base_latency=200.0)
+        assert memory.miss_latency(0, now=0.0) == 200.0
+
+    def test_back_to_back_requests_queue(self):
+        memory = MemoryModel(1, base_latency=200.0, service_cycles=24.0)
+        memory.miss_latency(0, now=0.0)
+        second = memory.miss_latency(0, now=0.0)
+        assert second == pytest.approx(224.0)
+
+    def test_queue_drains_over_time(self):
+        memory = MemoryModel(1, base_latency=200.0, service_cycles=24.0)
+        memory.miss_latency(0, now=0.0)
+        later = memory.miss_latency(0, now=1000.0)
+        assert later == 200.0
+
+    def test_controllers_are_independent(self):
+        memory = MemoryModel(2, base_latency=200.0, service_cycles=24.0)
+        memory.miss_latency(0, now=0.0)  # controller 0
+        other = memory.miss_latency(1, now=0.0)  # controller 1 (addr % 2)
+        assert other == 200.0
+
+    def test_address_hashing(self):
+        memory = MemoryModel(4)
+        memory.miss_latency(7, now=0.0)   # controller 3
+        assert memory._busy_until[3] > 0
+        assert memory._busy_until[0] == 0
+
+    def test_contention_grows_with_load(self):
+        """More simultaneous requesters -> larger average queueing delay
+        (the Fig. 1(a) high-core-count effect)."""
+
+        def mean_delay(requesters):
+            memory = MemoryModel(1, base_latency=200.0, service_cycles=24.0)
+            for i in range(requesters * 50):
+                memory.miss_latency(0, now=float(i // requesters) * 30.0)
+            return memory.mean_queue_delay()
+
+        assert mean_delay(8) > mean_delay(1)
+
+    def test_stats(self):
+        memory = MemoryModel(1)
+        assert memory.mean_queue_delay() == 0.0
+        memory.miss_latency(0, 0.0)
+        memory.miss_latency(0, 0.0)
+        assert memory.requests == 2
+        assert memory.mean_queue_delay() > 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemoryModel(0)
+        with pytest.raises(ValueError):
+            MemoryModel(1, base_latency=0)

@@ -1,0 +1,19 @@
+"""Tests for the design-choice ablation harness."""
+
+from repro.experiments import ablation
+
+
+class TestAblation:
+    def test_variants_cover_design_md_choices(self):
+        assert {"default", "pure-alg1", "paper-fallback", "no-bias-feedback",
+                "sparse-shadow", "all-paper-literal"} == set(ablation.VARIANTS)
+        assert ablation.VARIANTS["default"] == {}
+
+    def test_micro_run_and_format(self):
+        result = ablation.run(instructions=20_000, mixes=["S1"], cores=16)
+        assert set(result["geomean"]) == set(ablation.VARIANTS)
+        for value in result["geomean"].values():
+            assert value > 0
+        text = ablation.format_result(result)
+        assert "pure-alg1" in text
+        assert "geomean" in text

@@ -1,0 +1,59 @@
+"""Tests for machine configurations (Table 2)."""
+
+import pytest
+
+from repro.experiments.configs import PAPER_LLC, MachineConfig, machine
+
+
+class TestTable2:
+    def test_paper_table(self):
+        assert PAPER_LLC[4] == (4 << 20, 16, 1)
+        assert PAPER_LLC[16] == (8 << 20, 32, 4)
+        assert PAPER_LLC[32] == (16 << 20, 64, 8)
+
+    @pytest.mark.parametrize("cores,size_kb,assoc,mc", [
+        (4, 64, 16, 1),
+        (8, 64, 16, 2),
+        (16, 128, 32, 4),
+        (32, 256, 64, 8),
+    ])
+    def test_scaled_defaults(self, cores, size_kb, assoc, mc):
+        config = machine(cores)
+        assert config.geometry.size_bytes == size_kb << 10
+        assert config.geometry.assoc == assoc
+        assert config.num_controllers == mc
+        assert config.num_cores == cores
+
+    def test_unknown_core_count(self):
+        with pytest.raises(ValueError):
+            machine(6)
+
+    def test_scale_factor_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            machine(4, scale_factor=10)
+
+    def test_assoc_override_for_fig1b(self):
+        config = machine(4, assoc=256)
+        assert config.geometry.assoc == 256
+        assert config.geometry.size_bytes == 64 << 10  # capacity unchanged
+
+    def test_llc_override_for_fig6(self):
+        config = machine(16, assoc=16, llc_bytes=8 << 20)
+        assert config.geometry.assoc == 16
+        assert config.geometry.size_bytes == (8 << 20) // 64
+        assert config.geometry.num_blocks == 2048
+
+    def test_instructions_override(self):
+        assert machine(4, instructions=123).instructions == 123
+
+    def test_default_instructions_decrease_with_cores(self):
+        assert machine(4).instructions > machine(32).instructions
+
+    def test_str_representation(self):
+        text = str(machine(4))
+        assert "4core" in text and "64KB" in text
+
+    def test_config_is_frozen(self):
+        config = machine(4)
+        with pytest.raises(AttributeError):
+            config.num_cores = 8

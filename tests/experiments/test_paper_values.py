@@ -1,0 +1,35 @@
+"""Tests tying the paper-claims data to the experiment registry."""
+
+from repro.experiments.paper_values import PAPER_CLAIMS, claims_for
+from repro.experiments.registry import EXPERIMENTS
+
+
+class TestPaperClaims:
+    def test_every_claim_maps_to_a_registered_experiment(self):
+        for claim in PAPER_CLAIMS:
+            assert claim.experiment in EXPERIMENTS, claim
+
+    def test_every_quantified_eval_experiment_has_claims(self):
+        # fig4 is purely qualitative (occupancy snapshots); all others carry
+        # at least one transcribed claim.
+        for experiment_id in EXPERIMENTS:
+            if experiment_id == "fig4":
+                continue
+            assert claims_for(experiment_id), experiment_id
+
+    def test_headline_numbers(self):
+        by_metric = {c.metric: c for c in PAPER_CLAIMS}
+        assert by_metric["prism-h-vs-lru-16c"].value == 0.187
+        assert by_metric["vs-vantage-16c"].value == 0.118
+        assert by_metric["fairness-vs-waypart-16c"].value == 0.233
+        assert by_metric["prism-over-dip"].value == 0.089
+
+    def test_claims_have_text(self):
+        assert all(c.text for c in PAPER_CLAIMS)
+
+    def test_claims_frozen(self):
+        import dataclasses
+        import pytest
+
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            PAPER_CLAIMS[0].value = 1.0

@@ -1,0 +1,102 @@
+"""Tests for the workload runner."""
+
+import pytest
+
+from repro.experiments.configs import machine
+from repro.experiments.runner import (
+    _STANDALONE_CACHE,
+    clear_standalone_cache,
+    run_workload,
+    standalone_ipcs,
+)
+from repro.workloads.spec import get_profile
+
+CFG = machine(4, instructions=40_000)
+
+
+class TestRunWorkload:
+    def test_named_mix(self):
+        result = run_workload("Q1", CFG, "lru")
+        assert result.mix == "Q1"
+        assert len(result.cores) == 4
+        assert result.antt >= 1.0 or result.antt > 0
+
+    def test_custom_mix_by_names(self):
+        result = run_workload(
+            ["179.art", "470.lbm", "416.gamess", "403.gcc"], CFG, "lru"
+        )
+        assert result.mix == "custom"
+        assert result.benchmarks[0] == "179.art"
+
+    def test_custom_mix_by_profiles(self):
+        profiles = [get_profile(n) for n in ("179.art", "470.lbm", "416.gamess", "403.gcc")]
+        result = run_workload(profiles, CFG, "lru")
+        assert result.benchmarks == [p.name for p in profiles]
+
+    def test_mix_size_mismatch(self):
+        with pytest.raises(ValueError, match="cores"):
+            run_workload(["179.art", "470.lbm"], CFG, "lru")
+
+    def test_metrics_populated(self):
+        result = run_workload("Q1", CFG, "lru")
+        assert result.antt > 0
+        assert 0 < result.fairness <= 1.0
+        assert result.throughput > 0
+        assert result.weighted_speedup > 0
+        assert len(result.standalone) == 4
+
+    def test_slowdown_helper(self):
+        result = run_workload("Q1", CFG, "lru")
+        for core in range(4):
+            assert result.slowdown(core) == pytest.approx(
+                result.cores[core].ipc / result.standalone[core]
+            )
+
+    def test_prism_extras_collected(self):
+        result = run_workload("Q1", CFG, "prism-h")
+        assert "eviction_probabilities" in result.extra
+        assert "victim_not_found_rate" in result.extra
+        assert "probability_stats" in result.extra
+        assert "targets" in result.extra
+
+    def test_ucp_extras_collected(self):
+        result = run_workload("Q1", CFG, "ucp")
+        assert sum(result.extra["quotas"]) == CFG.geometry.assoc
+
+    def test_deterministic(self):
+        a = run_workload("Q1", CFG, "prism-h", seed=3)
+        clear_standalone_cache()
+        b = run_workload("Q1", CFG, "prism-h", seed=3)
+        assert a.shared_ipcs() == b.shared_ipcs()
+
+    def test_scheme_kwargs_forwarded(self):
+        result = run_workload(
+            "Q1", CFG, "prism-h", scheme_kwargs={"interval_len": 128}
+        )
+        assert result.intervals > run_workload("Q1", CFG, "prism-h").intervals
+
+
+class TestStandaloneCache:
+    def test_memoisation(self):
+        profiles = [get_profile("179.art")]
+        cfg = machine(4, instructions=30_000)
+        standalone_ipcs(profiles, cfg)
+        size = len(_STANDALONE_CACHE)
+        standalone_ipcs(profiles, cfg)
+        assert len(_STANDALONE_CACHE) == size
+
+    def test_policy_kind_keys_separately(self):
+        profiles = [get_profile("179.art")]
+        cfg = machine(4, instructions=30_000)
+        lru_ipc = standalone_ipcs(profiles, cfg, scheme="lru")[0]
+        ts_ipc = standalone_ipcs(profiles, cfg, scheme="tslru")[0]
+        # Keys must not collide: both present in the cache.
+        kinds = {key[2] for key in _STANDALONE_CACHE}
+        assert {"LRUPolicy", "TimestampLRUPolicy"} <= kinds
+        assert lru_ipc > 0 and ts_ipc > 0
+
+    def test_duplicate_profiles_share_one_run(self):
+        profiles = [get_profile("470.lbm")] * 3
+        cfg = machine(4, instructions=30_000)
+        ipcs = standalone_ipcs(profiles, cfg)
+        assert ipcs[0] == ipcs[1] == ipcs[2]

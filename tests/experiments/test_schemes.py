@@ -1,0 +1,86 @@
+"""Tests for the scheme registry."""
+
+import pytest
+
+from repro.cache.replacement.dip import DIPPolicy
+from repro.cache.replacement.lru import LRUPolicy
+from repro.cache.replacement.timestamp_lru import TimestampLRUPolicy
+from repro.core.prism import PrismScheme
+from repro.experiments.schemes import SCHEMES, build_scheme
+from repro.partitioning import (
+    FairWayPartitionScheme,
+    PIPPScheme,
+    TADIPPolicy,
+    UCPScheme,
+    VantageScheme,
+)
+
+
+class TestRegistry:
+    def test_all_paper_schemes_present(self):
+        for name in ["lru", "prism-h", "prism-f", "prism-q", "ucp", "pipp",
+                     "fair-waypart", "vantage", "prism-ucpx", "dip",
+                     "prism-h-dip", "tadip", "waypart-hitmax", "tslru"]:
+            assert name in SCHEMES
+
+    def test_unknown_scheme_raises_with_listing(self):
+        with pytest.raises(KeyError, match="known"):
+            build_scheme("bogus", 4)
+
+    def test_lru_is_unmanaged(self):
+        scheme, policy = build_scheme("lru", 4)
+        assert scheme is None
+        assert isinstance(policy, LRUPolicy)
+
+    def test_prism_h(self):
+        scheme, policy = build_scheme("prism-h", 4)
+        assert isinstance(scheme, PrismScheme)
+        assert scheme.policy_alloc.name == "prism-hitmax"
+        assert isinstance(policy, LRUPolicy)
+
+    def test_prism_q_needs_standalone_ipcs(self):
+        with pytest.raises(ValueError, match="stand-alone"):
+            build_scheme("prism-q", 4, None)
+
+    def test_prism_q_target_computed_from_fraction(self):
+        scheme, _ = build_scheme(
+            "prism-q", 4, [2.0, 1.0, 1.0, 1.0], target_ipc_fraction=0.8
+        )
+        assert scheme.policy_alloc.target_ipc == pytest.approx(1.6)
+
+    def test_vantage_paired_with_timestamp_lru(self):
+        scheme, policy = build_scheme("vantage", 4)
+        assert isinstance(scheme, VantageScheme)
+        assert isinstance(policy, TimestampLRUPolicy)
+
+    def test_prism_ucpx_paired_with_timestamp_lru(self):
+        scheme, policy = build_scheme("prism-ucpx", 4)
+        assert isinstance(scheme, PrismScheme)
+        assert isinstance(policy, TimestampLRUPolicy)
+
+    def test_dip_pairings(self):
+        scheme, policy = build_scheme("dip", 4)
+        assert scheme is None and isinstance(policy, DIPPolicy)
+        scheme, policy = build_scheme("prism-h-dip", 4)
+        assert isinstance(scheme, PrismScheme) and isinstance(policy, DIPPolicy)
+
+    def test_tadip_gets_core_count(self):
+        scheme, policy = build_scheme("tadip", 8)
+        assert scheme is None
+        assert isinstance(policy, TADIPPolicy)
+        assert policy.num_cores == 8
+
+    def test_baseline_schemes(self):
+        assert isinstance(build_scheme("ucp", 4)[0], UCPScheme)
+        assert isinstance(build_scheme("pipp", 4)[0], PIPPScheme)
+        assert isinstance(build_scheme("fair-waypart", 4)[0], FairWayPartitionScheme)
+
+    def test_kwargs_forwarded(self):
+        scheme, _ = build_scheme("prism-h", 4, probability_bits=6)
+        assert scheme.probability_bits == 6
+        scheme, _ = build_scheme("prism-h", 4, interval_len=99)
+        assert scheme._interval_override == 99
+
+    def test_specs_have_descriptions(self):
+        for spec in SCHEMES.values():
+            assert spec.description

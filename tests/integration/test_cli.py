@@ -1,0 +1,93 @@
+"""Tests for the repro-sim CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "--mix", "Q7"])
+        assert args.scheme == "prism-h"
+        assert args.seed == 0
+
+    def test_experiment_rejects_unknown_id(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestCommands:
+    def test_list_all(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "prism-h" in out
+        assert "Q1-Q21" in out
+        assert "179.art" in out
+        assert "fig13" in out
+
+    def test_list_schemes_only(self, capsys):
+        main(["list", "schemes"])
+        out = capsys.readouterr().out
+        assert "vantage" in out
+        assert "179.art" not in out
+
+    def test_run_named_mix(self, capsys):
+        assert main(["run", "--mix", "Q1", "--instructions", "20000"]) == 0
+        out = capsys.readouterr().out
+        assert "ANTT=" in out
+        assert "eviction probabilities" in out
+
+    def test_run_custom_mix(self, capsys):
+        mix = "179.art,470.lbm,416.gamess,403.gcc"
+        assert main(["run", "--mix", mix, "--scheme", "lru",
+                     "--instructions", "20000"]) == 0
+        out = capsys.readouterr().out
+        assert "179.art" in out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "lru", "prism-h", "--mix", "Q1",
+                     "--instructions", "20000"]) == 0
+        out = capsys.readouterr().out
+        assert "lru" in out and "prism-h" in out
+        assert "ANTT" in out
+
+    def test_characterize(self, capsys):
+        assert main(["characterize", "470.lbm", "--accesses", "5000"]) == 0
+        out = capsys.readouterr().out
+        assert "streaming" in out
+        assert "miss rate vs cache size" in out
+        assert "reuse-distance" in out
+
+    def test_report(self, capsys, tmp_path):
+        out = tmp_path / "r.md"
+        assert main(["report", "-o", str(out), "--budget", "micro",
+                     "--only", "fig12", "--quiet"]) == 0
+        assert "## fig12" in out.read_text()
+
+    def test_cost(self, capsys):
+        assert main(["cost", "--cores", "16", "--paper-scale"]) == 0
+        out = capsys.readouterr().out
+        assert "vantage" in out and "prism" in out
+        # PriSM's line sits at way-partitioning-class cost, below Vantage.
+        lines = {line.split()[0]: line for line in out.splitlines() if line.strip()}
+        assert float(lines["prism"].split()[-1]) < float(lines["vantage"].split()[-1])
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "probability_bits", "6", "8", "--mix", "Q1",
+                     "--instructions", "20000"]) == 0
+        out = capsys.readouterr().out
+        assert "probability_bits" in out
+        assert "vs LRU" in out
+
+    def test_experiment_with_csv(self, capsys, tmp_path):
+        prefix = tmp_path / "fig12"
+        assert main(["experiment", "fig12", "--instructions", "15000",
+                     "--csv", str(prefix)]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 12" in out
+        assert "wrote" in out
+        assert list(tmp_path.glob("fig12*.csv"))

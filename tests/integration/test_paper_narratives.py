@@ -1,0 +1,74 @@
+"""The paper's qualitative per-mix narratives, as executable assertions.
+
+Section 5.1's discussion names specific programs and mixes; these tests
+check the same stories play out in the reproduction (at reduced scale, so
+directions rather than magnitudes).
+"""
+
+import pytest
+
+from repro.experiments.configs import machine
+from repro.experiments.runner import run_workload
+
+CFG = machine(4, instructions=300_000)
+
+
+@pytest.fixture(scope="module")
+def runs():
+    """Shared runs for the narrative mixes."""
+    mixes = ("Q1", "Q4", "Q7")
+    return {
+        (mix, scheme): run_workload(mix, machine(4, instructions=300_000), scheme)
+        for mix in mixes
+        for scheme in ("lru", "prism-h")
+    }
+
+
+class TestSection51Narratives:
+    def test_q1_wupwise_gets_space(self, runs):
+        """'In workload Q1, PriSM allocates more space to the relatively
+        memory intensive benchmark 168.wupwise.'"""
+        prism = runs[("Q1", "prism-h")]
+        wupwise = prism.benchmarks.index("168.wupwise")
+        occupancies = [c.occupancy_at_finish for c in prism.cores]
+        assert occupancies[wupwise] == max(occupancies)
+
+    def test_q4_omnetpp_and_vpr_over_streamers(self, runs):
+        """'In workload Q4, PriSM allocates more space to benchmarks
+        175.vpr and 471.omnetpp ... at the expense of 410.bwaves and
+        470.lbm.'"""
+        prism = runs[("Q4", "prism-h")]
+        occ = {name: prism.cores[i].occupancy_at_finish
+               for i, name in enumerate(prism.benchmarks)}
+        assert occ["471.omnetpp"] > occ["410.bwaves"]
+        assert occ["471.omnetpp"] > occ["470.lbm"]
+        assert occ["175.vpr"] + occ["471.omnetpp"] > occ["410.bwaves"] + occ["470.lbm"]
+
+    def test_q7_headline_gain(self, runs):
+        """Q7 is the paper's best quad mix for PriSM (~50% there; a solid
+        double-digit win here)."""
+        ratio = runs[("Q7", "prism-h")].antt / runs[("Q7", "lru")].antt
+        assert ratio < 0.88
+
+    def test_streamers_never_dominate_under_prism(self, runs):
+        """Across all narrative mixes, no streaming program ends up holding
+        the largest share under PriSM-H."""
+        from repro.workloads.spec import get_profile
+
+        for mix in ("Q1", "Q4", "Q7"):
+            prism = runs[(mix, "prism-h")]
+            occupancies = [c.occupancy_at_finish for c in prism.cores]
+            biggest = prism.benchmarks[occupancies.index(max(occupancies))]
+            assert get_profile(biggest).category != "streaming", (mix, biggest)
+
+    def test_eviction_probabilities_rank_streamers_highest(self, runs):
+        """Streaming programs carry the largest E_i (they recycle their own
+        insertions), cache-insensitive programs the smallest."""
+        from repro.workloads.spec import get_profile
+
+        prism = runs[("Q7", "prism-h")]
+        probs = prism.extra["eviction_probabilities"]
+        by_cat = {}
+        for i, name in enumerate(prism.benchmarks):
+            by_cat.setdefault(get_profile(name).category, []).append(probs[i])
+        assert max(by_cat["streaming"]) > max(by_cat.get("insensitive", [0.0]))

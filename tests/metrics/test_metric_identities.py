@@ -1,0 +1,55 @@
+"""Cross-metric identities (property-based)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics import (
+    antt,
+    fairness,
+    harmonic_speedup,
+    slowdowns,
+    weighted_speedup,
+)
+
+ipcs = st.lists(st.floats(0.01, 10.0), min_size=1, max_size=24)
+
+
+@given(ipcs, ipcs)
+def test_harmonic_speedup_is_reciprocal_of_antt(a, b):
+    n = min(len(a), len(b))
+    sp, mp = a[:n], b[:n]
+    assert harmonic_speedup(sp, mp) == pytest.approx(1.0 / antt(sp, mp))
+
+
+@given(ipcs)
+def test_weighted_speedup_equals_n_when_unslowed(sp):
+    assert weighted_speedup(sp, sp) == pytest.approx(len(sp))
+
+
+@given(ipcs, st.floats(0.05, 1.0))
+def test_uniform_scaling_invariants(sp, factor):
+    """Scaling every shared IPC by the same factor: fairness is perfect,
+    ANTT is exactly 1/factor."""
+    mp = [x * factor for x in sp]
+    assert fairness(sp, mp) == pytest.approx(1.0)
+    assert antt(sp, mp) == pytest.approx(1.0 / factor)
+
+
+@given(ipcs, ipcs)
+def test_slowdowns_bound_the_metrics(a, b):
+    n = min(len(a), len(b))
+    sp, mp = a[:n], b[:n]
+    progress = slowdowns(sp, mp)
+    assert antt(sp, mp) >= 1.0 / max(progress) - 1e-9
+    assert antt(sp, mp) <= 1.0 / min(progress) + 1e-9
+
+
+@given(ipcs, ipcs)
+def test_antt_permutation_invariant(a, b):
+    n = min(len(a), len(b))
+    sp, mp = a[:n], b[:n]
+    paired = sorted(zip(sp, mp))
+    sp2 = [x for x, _ in paired]
+    mp2 = [y for _, y in paired]
+    assert antt(sp, mp) == pytest.approx(antt(sp2, mp2))
+    assert fairness(sp, mp) == pytest.approx(fairness(sp2, mp2))

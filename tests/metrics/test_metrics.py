@@ -1,0 +1,119 @@
+"""Tests for the multiprogram metrics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics import (
+    antt,
+    fairness,
+    geomean,
+    harmonic_speedup,
+    ipc_throughput,
+    slowdowns,
+    weighted_speedup,
+)
+
+ipc_lists = st.lists(st.floats(0.01, 10.0), min_size=1, max_size=32)
+
+
+class TestANTT:
+    def test_no_slowdown_gives_one(self):
+        assert antt([1.0, 2.0], [1.0, 2.0]) == 1.0
+
+    def test_uniform_halving_gives_two(self):
+        assert antt([1.0, 2.0], [0.5, 1.0]) == 2.0
+
+    def test_is_mean_of_per_program_turnaround(self):
+        assert antt([1.0, 1.0], [0.5, 1.0]) == pytest.approx(1.5)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            antt([1.0], [1.0, 2.0])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            antt([1.0, 0.0], [1.0, 1.0])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            antt([], [])
+
+    @given(ipc_lists)
+    def test_at_least_one_when_shared_never_faster(self, sp):
+        mp = [x * 0.8 for x in sp]
+        assert antt(sp, mp) >= 1.0
+
+
+class TestFairness:
+    def test_equal_slowdowns_perfectly_fair(self):
+        assert fairness([2.0, 4.0], [1.0, 2.0]) == 1.0
+
+    def test_range(self):
+        value = fairness([1.0, 1.0], [0.2, 0.9])
+        assert value == pytest.approx(0.2 / 0.9)
+
+    def test_order_invariant(self):
+        assert fairness([1.0, 2.0], [0.5, 1.8]) == fairness([2.0, 1.0], [1.8, 0.5])
+
+    @given(ipc_lists, st.floats(0.1, 1.0))
+    def test_bounded_by_one(self, sp, factor):
+        mp = [x * factor for x in sp]
+        assert 0.0 < fairness(sp, mp) <= 1.0 + 1e-12
+
+    def test_single_program_always_fair(self):
+        assert fairness([1.0], [0.5]) == 1.0
+
+
+class TestThroughputAndSpeedups:
+    def test_throughput_is_sum(self):
+        assert ipc_throughput([1.0, 2.0, 0.5]) == 3.5
+
+    def test_throughput_empty(self):
+        with pytest.raises(ValueError):
+            ipc_throughput([])
+
+    def test_weighted_speedup(self):
+        assert weighted_speedup([1.0, 2.0], [0.5, 1.0]) == pytest.approx(1.0)
+
+    def test_harmonic_speedup_no_slowdown(self):
+        assert harmonic_speedup([1.0, 2.0], [1.0, 2.0]) == pytest.approx(1.0)
+
+    def test_harmonic_leq_arithmetic(self):
+        sp = [1.0, 1.0]
+        mp = [0.25, 1.0]
+        hs = harmonic_speedup(sp, mp)
+        ws = weighted_speedup(sp, mp) / 2
+        assert hs <= ws + 1e-12
+
+    def test_slowdowns_vector(self):
+        assert slowdowns([2.0, 4.0], [1.0, 1.0]) == pytest.approx([0.5, 0.25])
+
+
+class TestGeomean:
+    def test_simple(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_single(self):
+        assert geomean([3.0]) == pytest.approx(3.0)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    @given(st.lists(st.floats(0.01, 100.0), min_size=1, max_size=50))
+    def test_between_min_and_max(self, values):
+        g = geomean(values)
+        assert min(values) - 1e-9 <= g <= max(values) + 1e-9
+
+    def test_antt_fairness_consistency(self):
+        """A run where one program is crushed: ANTT blows up while fairness
+        collapses — the two metrics must move in opposite directions."""
+        sp = [1.0, 1.0]
+        balanced = [0.8, 0.8]
+        skewed = [0.99, 0.2]
+        assert antt(sp, skewed) > antt(sp, balanced)
+        assert fairness(sp, skewed) < fairness(sp, balanced)

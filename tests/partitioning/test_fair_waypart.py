@@ -1,0 +1,68 @@
+"""Tests for the Kim et al. fairness repartitioner."""
+
+from repro.cache.cache import SharedCache
+from repro.cache.geometry import CacheGeometry
+from repro.partitioning.fair_waypart import FairWayPartitionScheme
+from repro.util.rng import make_rng
+
+
+def make(num_cores=2, interval=128, threshold=0.05):
+    geometry = CacheGeometry(8 << 10, 64, 8)
+    cache = SharedCache(geometry, num_cores)
+    scheme = FairWayPartitionScheme(
+        threshold=threshold, interval_len=interval, sample_shift=1
+    )
+    cache.set_scheme(scheme)
+    return cache, scheme
+
+
+class TestRepartitioning:
+    def test_moves_way_to_most_slowed_core(self):
+        cache, scheme = make()
+        scheme.shadow.shadow_misses = [10, 10]       # stand-alone misses
+        scheme.shadow.shared_misses = [10, 100]      # core 1 hurt by sharing
+        quotas_before = list(scheme.quotas)
+        scheme.end_interval(cache)
+        assert scheme.quotas[1] == quotas_before[1] + 1
+        assert scheme.quotas[0] == quotas_before[0] - 1
+
+    def test_threshold_blocks_tiny_gaps(self):
+        cache, scheme = make(threshold=0.5)
+        scheme.shadow.shadow_misses = [10, 10]
+        scheme.shadow.shared_misses = [10, 11]  # ratio gap 0.1 < 50% threshold
+        quotas_before = list(scheme.quotas)
+        scheme.end_interval(cache)
+        assert scheme.quotas == quotas_before
+
+    def test_donor_never_goes_below_one_way(self):
+        cache, scheme = make()
+        scheme.set_quotas([1, 7])
+        scheme.shadow.shadow_misses = [10, 10]
+        scheme.shadow.shared_misses = [10, 100]
+        scheme.end_interval(cache)
+        # Core 0 is the only candidate donor but holds 1 way; nothing moves.
+        assert scheme.quotas == [1, 7]
+
+    def test_zero_standalone_misses_treated_as_pure_interference(self):
+        cache, scheme = make()
+        assert scheme._miss_increase(0) >= 1.0 or scheme._miss_increase(0) == 1.0
+        scheme.shadow.shadow_misses = [0, 10]
+        scheme.shadow.shared_misses = [50, 10]
+        # Core 0: alone it never missed, shared it misses a lot -> max ratio.
+        assert scheme._miss_increase(0) > scheme._miss_increase(1)
+
+    def test_equalises_slowdown_end_to_end(self):
+        """A big-footprint core squeezing a small one should lose ways over
+        time, compressing the miss-increase spread."""
+        cache, scheme = make(interval=128)
+        rng = make_rng(9, "fair")
+        for _ in range(40000):
+            if rng.random() < 0.5:
+                cache.access(0, rng.randrange(64))          # small working set
+            else:
+                cache.access(1, (1 << 20) + rng.randrange(2000))  # giant set
+        # The small core keeps enough ways for its set: its miss increase
+        # stays near 1 and it retains at least the equal split.
+        assert scheme.repartitions > 0
+        assert scheme.quotas[0] >= 1
+        assert sum(scheme.quotas) == cache.geometry.assoc

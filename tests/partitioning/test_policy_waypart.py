@@ -1,0 +1,81 @@
+"""Tests for way-partitioning driven by a PriSM allocation policy (Fig. 5 arm)."""
+
+import pytest
+
+from repro.cache.cache import SharedCache
+from repro.cache.geometry import CacheGeometry
+from repro.core.allocation import AllocationPolicy, HitMaxPolicy
+from repro.partitioning.policy_waypart import AllocationWayPartitionScheme
+from repro.util.rng import make_rng
+
+
+class StaticPolicy(AllocationPolicy):
+    name = "static"
+
+    def __init__(self, targets):
+        self.targets = targets
+
+    def compute_targets(self, ctx):
+        return list(self.targets)
+
+
+def make(policy, num_cores=2, interval=64):
+    geometry = CacheGeometry(8 << 10, 64, 8)
+    cache = SharedCache(geometry, num_cores)
+    scheme = AllocationWayPartitionScheme(policy, interval_len=interval, sample_shift=1)
+    cache.set_scheme(scheme)
+    return cache, scheme
+
+
+class TestAllocationWayPartition:
+    def test_name_includes_policy(self):
+        _, scheme = make(HitMaxPolicy())
+        assert scheme.name_with_policy == "waypart-alloc[prism-hitmax]"
+
+    def test_targets_rounded_to_ways(self):
+        cache, scheme = make(StaticPolicy([0.70, 0.30]))
+        rng = make_rng(1, "pw")
+        for _ in range(500):
+            core = rng.randrange(2)
+            cache.access(core, (core << 20) + rng.randrange(400))
+        # 0.70 * 8 ways = 5.6 -> 6 ways (largest remainder), 0.30 -> 2.
+        assert scheme.quotas in ([6, 2], [5, 3])
+        assert sum(scheme.quotas) == 8
+
+    def test_quota_tracks_policy_changes(self):
+        policy = StaticPolicy([0.75, 0.25])
+        cache, scheme = make(policy)
+        rng = make_rng(2, "pw2")
+        for _ in range(500):
+            core = rng.randrange(2)
+            cache.access(core, (core << 20) + rng.randrange(400))
+        first = list(scheme.quotas)
+        policy.targets = [0.25, 0.75]
+        for _ in range(500):
+            core = rng.randrange(2)
+            cache.access(core, (core << 20) + rng.randrange(400))
+        assert scheme.quotas != first
+        assert scheme.quotas[1] > scheme.quotas[0]
+
+    def test_shadow_registered_and_perf_slot(self):
+        cache, scheme = make(HitMaxPolicy())
+        assert scheme.shadow in cache.monitors
+        assert hasattr(scheme, "perf")
+
+    def test_interval_defaults_to_num_blocks(self):
+        geometry = CacheGeometry(8 << 10, 64, 8)
+        cache = SharedCache(geometry, 2)
+        scheme = AllocationWayPartitionScheme(HitMaxPolicy())
+        cache.set_scheme(scheme)
+        assert scheme.interval_len == geometry.num_blocks
+
+    def test_enforcement_matches_rounded_targets(self):
+        """Occupancy under way enforcement converges to the rounded quota
+        fractions, not the fine-grained targets — the Fig. 5 contrast."""
+        cache, scheme = make(StaticPolicy([0.70, 0.30]))
+        rng = make_rng(3, "pw3")
+        for _ in range(30000):
+            core = rng.randrange(2)
+            cache.access(core, (core << 20) + rng.randrange(2000))
+        fractions = cache.occupancy_fractions()
+        assert fractions[0] == pytest.approx(scheme.quotas[0] / 8, abs=0.05)

@@ -1,0 +1,113 @@
+"""Tests for UCP: the lookahead algorithm and the full scheme."""
+
+import pytest
+
+from repro.cache.cache import SharedCache
+from repro.cache.geometry import CacheGeometry
+from repro.partitioning.ucp import UCPScheme, lookahead_allocate
+from repro.util.rng import make_rng
+
+
+def curve(values):
+    """utility(core, ways) from a per-core list of prefix-sum curves."""
+    def utility(core, ways):
+        c = values[core]
+        return c[min(ways, len(c) - 1)]
+    return utility
+
+
+class TestLookahead:
+    def test_budget_split_exactly(self):
+        alloc = lookahead_allocate(curve([[0, 1, 2, 3, 4]] * 2), 2, 4)
+        assert sum(alloc) == 4
+
+    def test_minimum_enforced(self):
+        # Core 1 has zero utility but still receives its minimum way.
+        alloc = lookahead_allocate(curve([[0, 10, 20, 30, 40], [0, 0, 0, 0, 0]]), 2, 4)
+        assert alloc[1] == 1
+        assert alloc[0] == 3
+
+    def test_budget_too_small_raises(self):
+        with pytest.raises(ValueError):
+            lookahead_allocate(curve([[0, 1]] * 4), 4, 3)
+
+    def test_marginal_utility_wins(self):
+        # Core 0: diminishing returns. Core 1: flat. Core 0 takes the extras.
+        u = curve([[0, 100, 150, 175, 185], [0, 10, 20, 30, 40]])
+        alloc = lookahead_allocate(u, 2, 4)
+        assert alloc[0] >= 2
+
+    def test_lookahead_sees_past_a_cliff(self):
+        """The reason it's 'lookahead' not plain greedy: a core whose
+        utility is zero until 3 ways then jumps must still win them."""
+        cliff = [0, 0, 0, 300, 300]
+        flat = [0, 10, 20, 30, 40]
+        alloc = lookahead_allocate(curve([cliff, flat]), 2, 4)
+        assert alloc[0] == 3
+        assert alloc[1] == 1
+
+    def test_ties_go_to_lowest_core(self):
+        u = curve([[0, 10, 20], [0, 10, 20]])
+        alloc = lookahead_allocate(u, 2, 3)
+        assert alloc == [2, 1]
+
+    def test_large_budget_power_of_two_search(self):
+        # 128 units with a cliff at 64: the coarse search must still find it.
+        cliff = [0] * 64 + [1000] * 65
+        flat = list(range(129))
+        alloc = lookahead_allocate(curve([cliff, flat]), 2, 128)
+        assert alloc[0] >= 64
+
+
+class TestUCPScheme:
+    def make(self, num_cores=2, interval=128):
+        geometry = CacheGeometry(8 << 10, 64, 8)  # 16 sets
+        cache = SharedCache(geometry, num_cores)
+        scheme = UCPScheme(interval_len=interval, sample_shift=1)
+        cache.set_scheme(scheme)
+        return cache, scheme
+
+    def test_umon_registered(self):
+        cache, scheme = self.make()
+        assert scheme.umon in cache.monitors
+
+    def test_interval_default_is_num_blocks(self):
+        geometry = CacheGeometry(8 << 10, 64, 8)
+        cache = SharedCache(geometry, 2)
+        scheme = UCPScheme()
+        cache.set_scheme(scheme)
+        assert scheme.interval_len == geometry.num_blocks
+
+    def test_repartitions_happen(self):
+        cache, scheme = self.make()
+        rng = make_rng(3, "ucp")
+        for _ in range(3000):
+            core = rng.randrange(2)
+            cache.access(core, (core << 20) + rng.randrange(500))
+        assert scheme.repartitions > 0
+        assert sum(scheme.quotas) == cache.geometry.assoc
+
+    def test_reuse_core_gets_more_ways_than_streamer(self):
+        cache, scheme = self.make(interval=256)
+        rng = make_rng(4, "ucp2")
+        scan = 0
+        for _ in range(30000):
+            if rng.random() < 0.5:
+                cache.access(0, rng.randrange(100))      # high-reuse core
+            else:
+                cache.access(1, (1 << 20) + scan)        # streamer
+                scan += 1
+        assert scheme.quotas[0] > scheme.quotas[1]
+
+    def test_quota_steers_occupancy(self):
+        cache, scheme = self.make(interval=256)
+        rng = make_rng(5, "ucp3")
+        scan = 0
+        for _ in range(40000):
+            if rng.random() < 0.5:
+                cache.access(0, rng.randrange(100))
+            else:
+                cache.access(1, (1 << 20) + scan)
+                scan += 1
+        fractions = cache.occupancy_fractions()
+        assert fractions[0] > fractions[1]

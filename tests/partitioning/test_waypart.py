@@ -1,0 +1,134 @@
+"""Tests for way-partitioning enforcement and quota rounding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cache.cache import SharedCache
+from repro.cache.geometry import CacheGeometry
+from repro.partitioning.waypart import WayPartitionScheme, round_to_way_quotas
+from repro.util.rng import make_rng
+
+
+class TestRounding:
+    def test_exact_fractions(self):
+        assert round_to_way_quotas([0.5, 0.25, 0.125, 0.125], 16) == [8, 4, 2, 2]
+
+    def test_sums_to_assoc(self):
+        quotas = round_to_way_quotas([0.4, 0.35, 0.25], 16)
+        assert sum(quotas) == 16
+
+    def test_minimum_one_way_each(self):
+        quotas = round_to_way_quotas([0.97, 0.01, 0.01, 0.01], 16)
+        assert all(q >= 1 for q in quotas)
+        assert sum(quotas) == 16
+
+    def test_zero_fraction_core_still_gets_a_way(self):
+        quotas = round_to_way_quotas([1.0, 0.0], 4)
+        assert quotas == [3, 1]
+
+    def test_too_many_cores_raises(self):
+        with pytest.raises(ValueError):
+            round_to_way_quotas([0.5] * 8, 4)
+
+    def test_cores_equal_ways_is_trivial(self):
+        # The Fig. 6 degenerate case: the only feasible partition.
+        assert round_to_way_quotas([0.9] + [0.1 / 15] * 15, 16) == [1] * 16
+
+    @given(st.lists(st.floats(0.0, 1.0), min_size=1, max_size=16),
+           st.sampled_from([16, 32, 64]))
+    def test_rounding_properties(self, fractions, assoc):
+        quotas = round_to_way_quotas(fractions, assoc)
+        assert sum(quotas) == assoc
+        assert all(q >= 1 for q in quotas)
+
+    @given(st.integers(2, 8))
+    def test_uniform_fractions_give_uniform_quotas(self, cores):
+        quotas = round_to_way_quotas([1.0 / cores] * cores, 16)
+        assert max(quotas) - min(quotas) <= 1
+
+
+class TestEnforcement:
+    @pytest.fixture
+    def cache(self):
+        geometry = CacheGeometry(4 << 10, 64, 4)  # 16 sets, 4 ways
+        cache = SharedCache(geometry, 2)
+        cache.set_scheme(WayPartitionScheme(quotas=[3, 1]))
+        return cache
+
+    def test_default_equal_split(self):
+        geometry = CacheGeometry(4 << 10, 64, 4)
+        cache = SharedCache(geometry, 2)
+        scheme = WayPartitionScheme()
+        cache.set_scheme(scheme)
+        assert scheme.quotas == [2, 2]
+
+    def test_default_split_with_remainder(self):
+        geometry = CacheGeometry(8 << 10, 64, 8)
+        cache = SharedCache(geometry, 3)
+        scheme = WayPartitionScheme()
+        cache.set_scheme(scheme)
+        assert scheme.quotas == [3, 3, 2]
+        assert sum(scheme.quotas) == 8
+
+    def test_rejects_quota_sum_mismatch(self):
+        geometry = CacheGeometry(4 << 10, 64, 4)
+        cache = SharedCache(geometry, 2)
+        with pytest.raises(ValueError, match="sum"):
+            cache.set_scheme(WayPartitionScheme(quotas=[2, 1]))
+
+    def test_rejects_zero_quota(self):
+        geometry = CacheGeometry(4 << 10, 64, 4)
+        cache = SharedCache(geometry, 2)
+        with pytest.raises(ValueError, match=">= 1"):
+            cache.set_scheme(WayPartitionScheme(quotas=[4, 0]))
+
+    def test_rejects_more_cores_than_ways(self):
+        geometry = CacheGeometry(4 << 10, 64, 4)
+        cache = SharedCache(geometry, 8)
+        with pytest.raises(ValueError):
+            cache.set_scheme(WayPartitionScheme())
+
+    def test_steady_state_respects_quotas(self, cache):
+        """After churn, each set holds exactly the quota split."""
+        rng = make_rng(1, "wp")
+        for _ in range(20000):
+            core = rng.randrange(2)
+            cache.access(core, (core << 20) + rng.randrange(3000))
+        for cset in cache.sets:
+            assert cset.count_core(0) == 3
+            assert cset.count_core(1) == 1
+
+    def test_over_quota_core_evicts_itself(self, cache):
+        geometry = cache.geometry
+        s = geometry.num_sets
+        # Core 1 (quota 1) fills two ways of set 0 while the set has room.
+        cache.access(1, 0)
+        cache.access(1, s)
+        cache.access(0, 2 * s)
+        cache.access(0, 3 * s)  # set 0 now full: [c1, c1, c0, c0]
+        # Core 0 misses; core 1 is over quota -> a core-1 block must go.
+        result = cache.access(0, 4 * s)
+        assert result.evicted_core == 1
+
+    def test_at_quota_requester_evicts_own_lru(self, cache):
+        geometry = cache.geometry
+        s = geometry.num_sets
+        for i in range(3):
+            cache.access(0, i * s)
+        cache.access(1, 3 * s)  # set full: core0 at quota 3, core1 at quota 1
+        result = cache.access(0, 4 * s)
+        assert result.evicted_core == 0
+        # Core 0's oldest block was the victim.
+        assert cache.sets[0].lookup(geometry.tag(0)) is None
+
+    def test_quota_update_shifts_occupancy(self, cache):
+        rng = make_rng(2, "wp2")
+        for _ in range(8000):
+            core = rng.randrange(2)
+            cache.access(core, (core << 20) + rng.randrange(3000))
+        cache.scheme.set_quotas([1, 3])
+        for _ in range(8000):
+            core = rng.randrange(2)
+            cache.access(core, (core << 20) + rng.randrange(3000))
+        for cset in cache.sets:
+            assert cset.count_core(1) == 3

@@ -1,0 +1,56 @@
+"""Public-API surface checks: the imports the README promises exist."""
+
+import pytest
+
+
+class TestTopLevelAPI:
+    def test_readme_quickstart_names(self):
+        import repro
+
+        for name in ("machine", "run_workload", "PrismScheme", "HitMaxPolicy",
+                     "FairnessPolicy", "QOSPolicy", "SharedCache", "CacheGeometry",
+                     "MultiCoreSystem", "run_standalone", "get_mix", "get_profile",
+                     "derive_eviction_probabilities", "ProbabilisticCacheManager"):
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        import repro
+        import repro.cache
+        import repro.core
+        import repro.core.allocation
+        import repro.cpu
+        import repro.metrics
+        import repro.partitioning
+        import repro.workloads
+
+        for module in (repro, repro.cache, repro.core, repro.core.allocation,
+                       repro.cpu, repro.metrics, repro.partitioning, repro.workloads):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name}"
+
+
+class TestPolicyRegistry:
+    def test_make_policy_known_names(self):
+        from repro.cache.replacement import make_policy
+
+        for name in ("lru", "random", "tslru", "dip", "bip", "lip",
+                     "srrip", "brrip", "drrip"):
+            policy = make_policy(name)
+            assert policy.name in (name, "lip", "bip")  # names match registry keys
+
+    def test_make_policy_kwargs(self):
+        from repro.cache.replacement import make_policy
+
+        policy = make_policy("dip", epsilon=1 / 16)
+        assert policy.epsilon == 1 / 16
+
+    def test_make_policy_unknown(self):
+        from repro.cache.replacement import make_policy
+
+        with pytest.raises(ValueError, match="known"):
+            make_policy("plru")

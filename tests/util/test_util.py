@@ -1,0 +1,68 @@
+"""Tests for the utility helpers (seed derivation, validation)."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.rng import derive_seed, make_rng
+from repro.util.validate import check_fraction, check_positive, check_power_of_two
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "a", 1) == derive_seed(42, "a", 1)
+
+    def test_labels_matter(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_base_seed_matters(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_label_order_matters(self):
+        assert derive_seed(1, "a", "b") != derive_seed(1, "b", "a")
+
+    def test_no_concatenation_ambiguity(self):
+        # ("ab",) and ("a", "b") must derive different streams.
+        assert derive_seed(1, "ab") != derive_seed(1, "a", "b")
+
+    def test_non_negative_63_bit(self):
+        for labels in [(), ("x",), (1, 2, 3)]:
+            seed = derive_seed(7, *labels)
+            assert 0 <= seed < 1 << 63
+
+    @given(st.integers(0, 2**62), st.text(max_size=20))
+    def test_property_stable(self, base, label):
+        assert derive_seed(base, label) == derive_seed(base, label)
+
+    def test_make_rng_streams_independent(self):
+        a = make_rng(5, "one")
+        b = make_rng(5, "two")
+        assert [a.random() for _ in range(10)] != [b.random() for _ in range(10)]
+
+    def test_make_rng_returns_random_instance(self):
+        assert isinstance(make_rng(0), random.Random)
+
+
+class TestValidate:
+    def test_fraction_accepts_bounds(self):
+        assert check_fraction("x", 0.0) == 0.0
+        assert check_fraction("x", 1.0) == 1.0
+
+    def test_fraction_rejects_outside(self):
+        with pytest.raises(ValueError, match="x"):
+            check_fraction("x", -0.01)
+        with pytest.raises(ValueError):
+            check_fraction("x", 1.01)
+
+    def test_positive(self):
+        assert check_positive("y", 0.5) == 0.5
+        with pytest.raises(ValueError, match="y"):
+            check_positive("y", 0)
+
+    def test_power_of_two(self):
+        assert check_power_of_two("z", 1) == 1
+        assert check_power_of_two("z", 64) == 64
+        for bad in (0, -2, 3, 6, 100):
+            with pytest.raises(ValueError, match="z"):
+                check_power_of_two("z", bad)

@@ -1,0 +1,58 @@
+"""Tests for the workload characterisation tools."""
+
+import pytest
+
+from repro.workloads.analysis import classify_profile, miss_curve, reuse_distance_histogram
+from repro.workloads.spec import get_profile
+
+
+class TestMissCurve:
+    def test_monotone_nonincreasing_for_friendly(self):
+        curve = miss_curve(get_profile("300.twolf"), [128, 256, 512, 1024])
+        assert all(b <= a + 0.02 for a, b in zip(curve, curve[1:]))
+
+    def test_streamer_flat(self):
+        curve = miss_curve(get_profile("462.libquantum"), [128, 1024])
+        assert curve[0] - curve[1] < 0.08
+        assert curve[1] > 0.8
+
+    def test_requires_sizes(self):
+        with pytest.raises(ValueError):
+            miss_curve(get_profile("300.twolf"), [])
+
+
+class TestReuseHistogram:
+    def test_buckets_sum_to_accesses(self):
+        hist = reuse_distance_histogram(get_profile("300.twolf"), accesses=5000)
+        assert sum(hist.values()) == 5000
+
+    def test_insensitive_mass_at_short_distances(self):
+        hist = reuse_distance_histogram(get_profile("416.gamess"), accesses=5000)
+        short = hist["<=16"] + hist["<=64"]
+        assert short / 5000 > 0.7
+
+    def test_streamer_mass_at_cold(self):
+        hist = reuse_distance_histogram(
+            get_profile("470.lbm"), accesses=5000, max_distance=2048
+        )
+        assert hist["cold_or_beyond"] / 5000 > 0.6
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("416.gamess", "insensitive"),
+            ("444.namd", "insensitive"),
+            ("470.lbm", "streaming"),
+            ("462.libquantum", "streaming"),
+            ("300.twolf", "friendly"),
+            ("179.art", "friendly"),
+        ],
+    )
+    def test_measured_class_matches_catalog(self, name, expected):
+        assert classify_profile(get_profile(name)) == expected
+
+    def test_thrasher_detected(self):
+        # 429.mcf: working set 5x the reference cache, visible partial gains.
+        assert classify_profile(get_profile("429.mcf")) in ("thrashing", "streaming")

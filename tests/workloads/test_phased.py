@@ -1,0 +1,114 @@
+"""Tests for phase-changing workloads."""
+
+import pytest
+
+from repro.cache.cache import SharedCache
+from repro.cache.geometry import CacheGeometry
+from repro.core import HitMaxPolicy, PrismScheme
+from repro.cpu.memory import MemoryModel
+from repro.cpu.system import MultiCoreSystem
+from repro.workloads.phased import PhasedProfile, PhasedStream
+from repro.workloads.spec import get_profile
+
+
+def phased(a="179.art", b="470.lbm", length=50_000):
+    return PhasedProfile([(get_profile(a), length), (get_profile(b), length)])
+
+
+class TestPhasedProfile:
+    def test_requires_phases(self):
+        with pytest.raises(ValueError):
+            PhasedProfile([])
+
+    def test_rejects_zero_length_phase(self):
+        with pytest.raises(ValueError):
+            PhasedProfile([(get_profile("179.art"), 0)])
+
+    def test_default_name(self):
+        assert phased().name == "179.art+470.lbm"
+
+    def test_timing_attributes_from_first_phase(self):
+        p = phased()
+        art = get_profile("179.art")
+        assert p.mem_ratio == art.mem_ratio
+        assert p.mean_gap == art.mean_gap
+
+    def test_footprint_is_max_of_phases(self):
+        p = phased()
+        assert p.footprint() == max(
+            get_profile("179.art").footprint(), get_profile("470.lbm").footprint()
+        )
+
+
+class TestPhasedStream:
+    def test_switches_after_phase_length(self):
+        stream = phased(length=1_000).stream(seed=1)
+        instructions = 0
+        while stream.current_phase == 0:
+            gap, _ = stream.next_access()
+            instructions += gap
+        assert instructions >= 1_000
+        assert stream.phase_switches == 1
+
+    def test_cycles_back_to_first_phase(self):
+        stream = phased(length=500).stream(seed=1)
+        seen = set()
+        for _ in range(5_000):
+            stream.next_access()
+            seen.add(stream.current_phase)
+        assert seen == {0, 1}
+        assert stream.phase_switches >= 2
+
+    def test_phases_use_disjoint_addresses(self):
+        stream = phased(length=2_000).stream(seed=2)
+        by_phase = {0: set(), 1: set()}
+        for _ in range(8_000):
+            phase = stream.current_phase
+            _, addr = stream.next_access()
+            by_phase[phase].add(addr)
+        assert not (by_phase[0] & by_phase[1])
+
+    def test_deterministic(self):
+        a = phased().stream(seed=3)
+        b = phased().stream(seed=3)
+        assert [a.next_access() for _ in range(1000)] == [
+            b.next_access() for _ in range(1000)
+        ]
+
+
+class TestPrismAdaptsAcrossPhases:
+    def test_occupancy_tracks_phase_change(self):
+        """Core 0 runs a cache-friendly phase then goes compute-bound
+        (tiny footprint); PriSM must reclaim its cache for the competing
+        friendly core. Adaptation needs a phase several intervals long —
+        Alg. 1's multiplicative updates move a bounded factor per interval
+        (the Fig. 11 stability/agility trade-off)."""
+        geometry = CacheGeometry(32 << 10, 64, 16)  # 512 blocks, fast intervals
+        phase_len = 300_000
+        profile0 = PhasedProfile(
+            [(get_profile("300.twolf"), phase_len), (get_profile("416.gamess"), phase_len)]
+        )
+        profile1 = get_profile("471.omnetpp")
+        cache = SharedCache(geometry, 2)
+        scheme = PrismScheme(HitMaxPolicy())
+        cache.set_scheme(scheme)
+        system = MultiCoreSystem(cache, [profile0, profile1], seed=4,
+                                 memory=MemoryModel(1))
+
+        orig = scheme.end_interval
+        samples = {0: [], 1: []}
+
+        def wrapped(c):
+            orig(c)
+            samples[system.streams[0].current_phase].append(
+                c.occupancy_fractions()[0]
+            )
+
+        scheme.end_interval = wrapped
+        system.run(1_000_000)
+        assert samples[0] and samples[1]
+        # Tail of each phase (converged part).
+        tail = lambda xs: sum(xs[len(xs) // 2:]) / max(1, len(xs) - len(xs) // 2)
+        friendly_occupancy = tail(samples[0])
+        compute_occupancy = tail(samples[1])
+        assert friendly_occupancy > compute_occupancy + 0.1

@@ -1,0 +1,63 @@
+"""Tests for the supplementary profile catalog."""
+
+import pytest
+
+from repro.workloads.mixes import MIXES
+from repro.workloads.spec import PROFILES, get_profile
+from repro.workloads.spec_extra import (
+    EXTRA_PROFILES,
+    register_extra_profiles,
+    unregister_extra_profiles,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_registration():
+    yield
+    unregister_extra_profiles()
+
+
+class TestExtraCatalog:
+    def test_not_registered_by_default(self):
+        for name in EXTRA_PROFILES:
+            assert name not in PROFILES
+
+    def test_profiles_valid(self):
+        for profile in EXTRA_PROFILES.values():
+            assert profile.mean_gap >= 1
+            assert profile.footprint() > 0
+            assert profile.category in (
+                "friendly", "streaming", "insensitive", "moderate", "thrashing"
+            )
+
+    def test_register_makes_them_resolvable(self):
+        added = register_extra_profiles()
+        assert set(added) == set(EXTRA_PROFILES)
+        assert get_profile("433.milc").category == "streaming"
+
+    def test_register_idempotent(self):
+        register_extra_profiles()
+        assert register_extra_profiles() == []
+
+    def test_registration_leaves_mixes_untouched(self):
+        before = {name: list(members) for name, members in MIXES.items()}
+        register_extra_profiles()
+        assert MIXES == before
+        for members in MIXES.values():
+            for name in members:
+                assert name not in EXTRA_PROFILES
+
+    def test_extra_profiles_runnable(self):
+        from repro.cpu.system import run_standalone
+        from repro.cache.geometry import CacheGeometry
+
+        core = run_standalone(
+            EXTRA_PROFILES["447.dealII"], CacheGeometry(16 << 10, 64, 8), 20_000
+        )
+        assert core.ipc > 0
+
+    def test_class_shapes(self):
+        streamers = [p for p in EXTRA_PROFILES.values() if p.category == "streaming"]
+        assert all(p.footprint() > 4000 for p in streamers)
+        insensitive = [p for p in EXTRA_PROFILES.values() if p.category == "insensitive"]
+        assert all(p.mem_ratio <= 0.01 for p in insensitive)

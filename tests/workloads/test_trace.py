@@ -1,0 +1,91 @@
+"""Tests for trace record/replay."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.spec import get_profile
+from repro.workloads.trace import Trace, record_trace
+
+
+class TestTraceValidation:
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="equal-length"):
+            Trace(np.array([1, 2]), np.array([1]))
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Trace(np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+
+    def test_zero_gap_rejected(self):
+        with pytest.raises(ValueError, match="gap"):
+            Trace(np.array([0]), np.array([1]))
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Trace(np.array([1]), np.array([-5]))
+
+
+class TestReplay:
+    def test_next_access_sequence(self):
+        trace = Trace(np.array([10, 20]), np.array([100, 200]))
+        assert trace.next_access() == (10, 100)
+        assert trace.next_access() == (20, 200)
+
+    def test_wraparound(self):
+        trace = Trace(np.array([10, 20]), np.array([100, 200]))
+        for _ in range(3):
+            trace.next_access()
+        assert trace.next_access() == (20, 200)
+        assert trace.generated == 4
+
+    def test_rewind(self):
+        trace = Trace(np.array([10, 20]), np.array([100, 200]))
+        trace.next_access()
+        trace.rewind()
+        assert trace.next_access() == (10, 100)
+
+    def test_iteration_is_single_pass(self):
+        trace = Trace(np.array([1, 2, 3]), np.array([7, 8, 9]))
+        assert list(trace) == [(1, 7), (2, 8), (3, 9)]
+
+    def test_len(self):
+        assert len(Trace(np.array([1, 2]), np.array([3, 4]))) == 2
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        trace = record_trace(get_profile("179.art"), 500, seed=7)
+        path = tmp_path / "art.npz"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert np.array_equal(loaded.gaps, trace.gaps)
+        assert np.array_equal(loaded.addrs, trace.addrs)
+        assert loaded.source == "179.art"
+
+    def test_loaded_trace_replays_identically(self, tmp_path):
+        trace = record_trace(get_profile("300.twolf"), 200, seed=8)
+        path = tmp_path / "t.npz"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert [loaded.next_access() for _ in range(300)] == [
+            trace.next_access() for _ in range(300)
+        ]
+        # (the 300th access exercises the wraparound on both sides)
+
+
+class TestRecord:
+    def test_record_matches_live_stream(self):
+        profile = get_profile("471.omnetpp")
+        trace = record_trace(profile, 300, seed=9)
+        stream = profile.stream(seed=9)
+        live = [stream.next_access() for _ in range(300)]
+        assert [(int(g), int(a)) for g, a in zip(trace.gaps, trace.addrs)] == live
+
+    def test_record_respects_scale(self):
+        profile = get_profile("179.art")
+        trace = record_trace(profile, 2000, seed=10, scale=0.25)
+        assert trace.addrs.max() < profile.footprint(scale=0.25)
+
+    def test_record_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            record_trace(get_profile("179.art"), 0)
