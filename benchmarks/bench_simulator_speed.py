@@ -4,6 +4,13 @@ Unlike the figure benches (minutes-long experiments, one round), these are
 true pytest-benchmark microbenchmarks with multiple rounds: they track the
 cost of the cache access path under each scheme class so performance
 regressions in the substrate are visible.
+
+Also runnable directly (no pytest-benchmark needed)::
+
+    PYTHONPATH=src python benchmarks/bench_simulator_speed.py
+
+which times every scenario best-of-N and writes ``BENCH_speed.json`` —
+the artifact CI archives so hot-path throughput is tracked over time.
 """
 
 from repro.cache.cache import SharedCache
@@ -66,3 +73,92 @@ def test_speed_vantage(benchmark):
         return _drive(cache, stream)
 
     assert benchmark(run) > 0
+
+
+# -- standalone mode ---------------------------------------------------------
+
+
+def _unmanaged_lru():
+    return SharedCache(GEOMETRY, 4)
+
+
+def _prism():
+    cache = SharedCache(GEOMETRY, 4)
+    cache.set_scheme(PrismScheme(HitMaxPolicy(), sample_shift=1))
+    return cache
+
+
+def _ucp():
+    cache = SharedCache(GEOMETRY, 4)
+    cache.set_scheme(UCPScheme(sample_shift=1))
+    return cache
+
+
+def _vantage():
+    cache = SharedCache(GEOMETRY, 4, policy=TimestampLRUPolicy())
+    cache.set_scheme(VantageScheme(sample_shift=1))
+    return cache
+
+
+SCENARIOS = {
+    "unmanaged_lru": _unmanaged_lru,
+    "prism": _prism,
+    "ucp": _ucp,
+    "vantage": _vantage,
+}
+
+
+def run_standalone(accesses: int = 100_000, rounds: int = 3) -> dict:
+    """Best-of-``rounds`` accesses/second for every scenario."""
+    import time
+
+    if accesses < 1 or rounds < 1:
+        raise SystemExit(
+            f"--accesses and --rounds must be >= 1 (got {accesses}, {rounds})"
+        )
+
+    rng = make_rng(1, "speed")
+    stream = [(rng.randrange(4), rng.randrange(3000)) for _ in range(accesses)]
+    results = {}
+    for name, factory in SCENARIOS.items():
+        best = float("inf")
+        for _ in range(rounds):
+            cache = factory()
+            start = time.perf_counter()
+            misses = _drive(cache, stream)
+            elapsed = time.perf_counter() - start
+            best = min(best, elapsed)
+        assert misses > 0
+        results[name] = {
+            "accesses": accesses,
+            "rounds": rounds,
+            "best_seconds": round(best, 6),
+            "accesses_per_sec": round(accesses / best, 1),
+        }
+    return results
+
+
+def main(argv=None) -> int:
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--accesses", type=int, default=100_000)
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument("-o", "--output", default="BENCH_speed.json")
+    args = parser.parse_args(argv)
+
+    results = run_standalone(accesses=args.accesses, rounds=args.rounds)
+    for name, row in results.items():
+        print(f"{name:>16}: {row['accesses_per_sec']:>12,.0f} accesses/sec")
+    with open(args.output, "w") as fh:
+        json.dump(results, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

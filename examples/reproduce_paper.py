@@ -15,6 +15,7 @@ Usage::
 """
 
 import argparse
+import os
 import time
 
 from repro.experiments.registry import EXPERIMENTS
@@ -46,8 +47,15 @@ def main() -> None:
                         help=f"experiment ids to run (default: all of {sorted(EXPERIMENTS)})")
     parser.add_argument("--budget", choices=["quick", "full"], default="quick")
     parser.add_argument("--verbose", action="store_true", help="print per-run progress")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for independent runs "
+                        "(0 = all CPUs; default: serial or REPRO_JOBS)")
     args = parser.parse_args()
 
+    if args.jobs is not None:
+        # The figure modules fan out via compare_schemes, which consults
+        # REPRO_JOBS whenever no explicit jobs= is passed.
+        os.environ["REPRO_JOBS"] = str(args.jobs)
     ids = args.only or list(EXPERIMENTS)
     progress = (lambda msg: print(f"    {msg}", flush=True)) if args.verbose else None
     for experiment_id in ids:

@@ -20,9 +20,12 @@ class CacheBlock:
         timestamp: coarse timestamp used by timestamp-LRU / Vantage.
         rrpv: re-reference prediction value used by SRRIP.
         managed: Vantage region flag (``True`` = managed region).
+        prev, next: intrusive recency-list links owned by the block's
+            :class:`~repro.cache.cacheset.CacheSet`; ``None`` while the
+            block sits in the free pool.
     """
 
-    __slots__ = ("tag", "core", "valid", "timestamp", "rrpv", "managed")
+    __slots__ = ("tag", "core", "valid", "timestamp", "rrpv", "managed", "prev", "next")
 
     def __init__(self) -> None:
         self.tag = -1
@@ -31,6 +34,8 @@ class CacheBlock:
         self.timestamp = 0
         self.rrpv = 0
         self.managed = True
+        self.prev = None
+        self.next = None
 
     def fill(self, tag: int, core: int) -> None:
         """(Re)fill this block for ``core`` with ``tag``."""

@@ -33,6 +33,19 @@ from repro.cache.stats import CacheStats
 __all__ = ["AccessResult", "SharedCache"]
 
 
+def _active(callback):
+    """``callback`` itself, or ``None`` when it is a tagged no-op.
+
+    Methods marked ``_hot_noop = True`` on their defining class are base-class
+    stubs; eliding the call entirely keeps them off the per-access hot path.
+    Plain callables (e.g. per-instance closures) are always active.
+    """
+    func = getattr(callback, "__func__", callback)
+    if getattr(func, "_hot_noop", False):
+        return None
+    return callback
+
+
 class AccessResult(NamedTuple):
     """Outcome of one cache access."""
 
@@ -57,6 +70,43 @@ class SharedCache:
         monitors: observers probed on every access (shadow tags, tracers).
     """
 
+    # Slotted: the access loop is ~20 attribute loads per call, and slot
+    # descriptors resolve faster than instance-dict lookups. Subclasses
+    # (e.g. SetPartitionedCache) may still add their own attributes — they
+    # get a __dict__ of their own.
+    __slots__ = (
+        "geometry",
+        "num_cores",
+        "_set_mask",
+        "_tag_shift",
+        "policy",
+        "sets",
+        "occupancy",
+        "stats",
+        "_hits",
+        "_misses",
+        "_evictions",
+        "_hit_results",
+        "monitors",
+        "scheme",
+        "intervals_completed",
+        "_interval_len",
+        "_interval_left",
+        "_notify_access",
+        "_record_miss",
+        "_policy_on_fill",
+        "_scheme_on_fill",
+        "_on_hit",
+        "_insert_fill",
+        "_replace_fill",
+        "_select_victim",
+        "_lru_victim",
+        "_observers",
+        "_observers_at",
+        "_interval_monitors",
+        "_hot",
+    )
+
     def __init__(
         self,
         geometry: CacheGeometry,
@@ -78,26 +128,131 @@ class SharedCache:
         ]
         self.occupancy: List[int] = [0] * num_cores
         self.stats = CacheStats(num_cores)
+        # Direct references to the lifetime counter lists: CacheStats never
+        # reassigns them (interval views are derived), so the access loop can
+        # skip the two-attribute hop on every hit/miss/eviction.
+        self._hits = self.stats.hits
+        self._misses = self.stats.misses
+        self._evictions = self.stats.evictions
+        # AccessResult is immutable and a hit's fields depend only on the
+        # set index, so hits return pre-built results.
+        self._hit_results = [
+            AccessResult(True, i, -1) for i in range(geometry.num_sets)
+        ]
         self.monitors: list = []
         self.scheme = None
-        self.interval_miss_count = 0
         self.intervals_completed = 0
+        self._interval_len = 0
+        self._interval_left = 0
         self.policy.bind(self)
+        self._rewire()
         if scheme is not None:
             self.set_scheme(scheme)
 
     # -- wiring ------------------------------------------------------------
 
+    def _rewire(self) -> None:
+        """Re-resolve the per-access callbacks.
+
+        The access loop runs millions of times; resolving which hooks are
+        real (vs. ``_hot_noop``-tagged base-class stubs) once per wiring
+        change keeps dead calls out of it entirely.
+        """
+        policy = self.policy
+        scheme = self.scheme
+        self._notify_access = _active(policy.notify_access)
+        self._record_miss = _active(policy.record_miss)
+        self._policy_on_fill = _active(policy.on_fill)
+        self._scheme_on_fill = _active(scheme.on_fill) if scheme is not None else None
+        if scheme is None:
+            self._on_hit = policy.on_hit
+            self._insert_fill = policy.insert_fill
+            self._replace_fill = policy.replace_fill
+            self._select_victim = None
+        else:
+            # Bound methods resolved by ManagementScheme.attach(): the
+            # policy's own hooks wherever the scheme does not override them.
+            self._on_hit = scheme._resolved_on_hit
+            self._insert_fill = scheme._resolved_insert
+            self._replace_fill = scheme._resolved_replace
+            self._select_victim = scheme._resolved_select
+        # When no scheme overrides victim selection and the policy's order is
+        # the recency order, the victim is always the LRU-end block — inlined
+        # into the access loop as a direct linked-list peek.
+        self._lru_victim = self._select_victim is None and policy.recency_ordered
+        # Observer dispatch is per set: a sampling monitor (one exposing
+        # is_sampled) is only wired into the sets it samples, so unsampled
+        # sets skip its observe call entirely.
+        active = [m for m in self.monitors if _active(m.observe) is not None]
+        self._observers = tuple(m.observe for m in active)
+        if active:
+            self._observers_at = [
+                tuple(
+                    m.observe
+                    for m in active
+                    if not hasattr(m, "is_sampled") or m.is_sampled(s)
+                )
+                for s in range(self.geometry.num_sets)
+            ]
+        else:
+            self._observers_at = None
+        self._interval_monitors = tuple(
+            m.end_interval
+            for m in self.monitors
+            if getattr(m, "end_interval", None) is not None
+        )
+        # Everything access() reads that is fixed between wiring changes,
+        # packed into one tuple: a single attribute load plus an unpack
+        # replaces ~18 attribute loads per access. Every pinned container
+        # is mutated in place only (occupancy, stat lists, sets).
+        self._hot = (
+            self._set_mask,
+            self._tag_shift,
+            self.sets,
+            self._hits,
+            self._misses,
+            self._evictions,
+            self._hit_results,
+            self._notify_access,
+            self._observers_at,
+            self._on_hit,
+            self._record_miss,
+            self._select_victim,
+            self._lru_victim,
+            self._insert_fill,
+            self._replace_fill,
+            self._policy_on_fill,
+            self._scheme_on_fill,
+            self.occupancy,
+            policy.victim,
+            self._interval_len,
+        )
+
     def set_scheme(self, scheme) -> None:
         """Attach a management scheme (calls ``scheme.attach(self)``)."""
         self.scheme = scheme
         scheme.attach(self)
+        # Latched once: schemes fix interval_len during construction/attach.
+        self._interval_len = getattr(scheme, "interval_len", 0) or 0
+        self._interval_left = self._interval_len
+        self._rewire()
 
     def add_monitor(self, monitor) -> None:
         """Register an access observer with an ``observe(core, set, tag, hit)`` method."""
         self.monitors.append(monitor)
+        self._rewire()
 
     # -- derived state -------------------------------------------------------
+
+    @property
+    def interval_miss_count(self) -> int:
+        """Misses so far in the current allocation interval."""
+        interval_len = self._interval_len
+        return (interval_len - self._interval_left) if interval_len else 0
+
+    @interval_miss_count.setter
+    def interval_miss_count(self, value: int) -> None:
+        self._interval_left = self._interval_len - value
 
     def occupancy_fractions(self) -> List[float]:
         """``C_i``: fraction of all cache blocks owned by each core."""
@@ -117,73 +272,91 @@ class SharedCache:
             An :class:`AccessResult`; ``evicted_core`` identifies whose block
             was displaced (or -1 for a fill into an empty way / a hit).
         """
-        set_index = block_addr & self._set_mask
-        tag = block_addr >> self._tag_shift
-        cset = self.sets[set_index]
-        policy = self.policy
-        scheme = self.scheme
+        (
+            set_mask,
+            tag_shift,
+            sets,
+            hits_l,
+            misses_l,
+            evictions_l,
+            hit_results,
+            notify_access,
+            observers_at,
+            on_hit,
+            record_miss,
+            select_victim,
+            lru_victim,
+            insert_fill,
+            replace_fill,
+            policy_on_fill,
+            scheme_on_fill,
+            occupancy,
+            policy_victim,
+            interval_len,
+        ) = self._hot
+        set_index = block_addr & set_mask
+        tag = block_addr >> tag_shift
+        cset = sets[set_index]
 
-        policy.notify_access(cset)
-        block = cset.lookup(tag)
+        if notify_access is not None:
+            notify_access(cset)
+        block = cset.lookup_tag(tag)
         hit = block is not None
-        for monitor in self.monitors:
-            monitor.observe(core, set_index, tag, hit)
+        if observers_at is not None:
+            for observe in observers_at[set_index]:
+                observe(core, set_index, tag, hit)
 
         if hit:
-            self.stats.record_hit(core)
-            if scheme is not None:
-                scheme.on_hit(cset, block, core)
-            else:
-                policy.on_hit(cset, block, core)
-            return AccessResult(True, set_index, -1)
+            hits_l[core] += 1
+            on_hit(cset, block, core)
+            return hit_results[set_index]
 
-        self.stats.record_miss(core)
-        policy.record_miss(cset, core)
+        misses_l[core] += 1
+        if record_miss is not None:
+            record_miss(cset, core)
 
         evicted_core = -1
         evicted_addr = -1
-        if cset.full:
-            if scheme is not None:
-                victim = scheme.select_victim(cset, core)
+        if not cset._free:
+            if lru_victim:
+                victim = cset._tail.prev
+            elif select_victim is not None:
+                victim = select_victim(cset, core)
             else:
-                victim = policy.victim(cset)
+                victim = policy_victim(cset)
             evicted_core = victim.core
-            evicted_addr = (victim.tag << self._tag_shift) | set_index
-            self.occupancy[evicted_core] -= 1
-            self.stats.record_eviction(evicted_core)
-            cset.evict(victim)
-
-        if scheme is not None:
-            position = scheme.insertion_position(cset, core)
+            evicted_addr = (victim.tag << tag_shift) | set_index
+            occupancy[evicted_core] -= 1
+            evictions_l[evicted_core] += 1
+            new_block = replace_fill(cset, victim, tag, core)
         else:
-            position = policy.insertion_position(cset, core)
-        new_block = cset.fill(tag, core, position)
-        self.occupancy[core] += 1
-        policy.on_fill(cset, new_block, core)
-        if scheme is not None:
-            scheme.on_fill(cset, new_block, core)
+            new_block = insert_fill(cset, tag, core)
+        occupancy[core] += 1
+        if policy_on_fill is not None:
+            policy_on_fill(cset, new_block, core)
+        if scheme_on_fill is not None:
+            scheme_on_fill(cset, new_block, core)
 
-        self._tick_interval()
-        return AccessResult(False, set_index, evicted_core, evicted_addr)
+        if interval_len:
+            # Countdown form: one read-modify-write per miss.
+            left = self._interval_left - 1
+            if left:
+                self._interval_left = left
+            else:
+                self._end_interval()
+        # NamedTuple.__new__ goes through _make-style kwargs plumbing;
+        # building the tuple directly skips that on the dominant miss path.
+        return tuple.__new__(
+            AccessResult, (False, set_index, evicted_core, evicted_addr)
+        )
 
-    def _tick_interval(self) -> None:
-        """Advance the miss-interval clock and fire the scheme callback."""
-        scheme = self.scheme
-        if scheme is None:
-            return
-        interval_len = getattr(scheme, "interval_len", 0)
-        if not interval_len:
-            return
-        self.interval_miss_count += 1
-        if self.interval_miss_count < interval_len:
-            return
-        scheme.end_interval(self)
+    def _end_interval(self) -> None:
+        """Fire the allocation-policy interval: scheme first, then resets."""
+        self.scheme.end_interval(self)
         self.stats.reset_interval()
-        for monitor in self.monitors:
-            end_interval = getattr(monitor, "end_interval", None)
-            if end_interval is not None:
-                end_interval()
-        self.interval_miss_count = 0
+        for end_interval in self._interval_monitors:
+            end_interval()
+        self._interval_left = self._interval_len
         self.intervals_completed += 1
 
     # -- integrity checks (used by tests and assertions) ------------------------

@@ -42,6 +42,8 @@ class IntervalHistory:
     def observe(self, core: int, set_index: int, tag: int, hit: bool) -> None:
         pass
 
+    observe._hot_noop = True  # only end_interval matters; skip per-access calls
+
     def end_interval(self) -> None:
         scheme = self.cache.scheme
         record: Dict = {

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import List
 
+from repro.cache.cacheset import CacheSet
 from repro.cache.replacement.base import ReplacementPolicy
 from repro.util.rng import make_rng
 
@@ -28,12 +29,23 @@ class LIPPolicy(ReplacementPolicy):
     """LRU-insertion policy: fills land at the LRU end."""
 
     name = "lip"
+    recency_ordered = True
+
+    insert_fill = staticmethod(CacheSet.fill_lru)
+    replace_fill = staticmethod(CacheSet.replace_lru)
+    on_hit = staticmethod(CacheSet.hit_promote)
 
     def insertion_position(self, cset, core: int) -> int:
         return cset.assoc  # clamped to the tail by CacheSet.fill
 
+    def victim(self, cset):
+        return cset.lru_block()
+
+    def eviction_candidates(self, cset):
+        return cset.iter_lru_to_mru()
+
     def eviction_order(self, cset) -> List:
-        return cset.blocks[::-1]
+        return list(cset.iter_lru_to_mru())
 
 
 class BIPPolicy(LIPPolicy):
@@ -52,6 +64,16 @@ class BIPPolicy(LIPPolicy):
             return 0
         return cset.assoc
 
+    def insert_fill(self, cset, tag: int, core: int):
+        if self._rng.random() < self.epsilon:
+            return cset.fill_mru(tag, core)
+        return cset.fill_lru(tag, core)
+
+    def replace_fill(self, cset, victim, tag: int, core: int):
+        if self._rng.random() < self.epsilon:
+            return cset.replace_mru(victim, tag, core)
+        return cset.replace_lru(victim, tag, core)
+
 
 class DIPPolicy(ReplacementPolicy):
     """Dynamic insertion policy with set dueling.
@@ -64,6 +86,9 @@ class DIPPolicy(ReplacementPolicy):
     """
 
     name = "dip"
+    recency_ordered = True
+
+    on_hit = staticmethod(CacheSet.hit_promote)
 
     def __init__(
         self,
@@ -118,5 +143,21 @@ class DIPPolicy(ReplacementPolicy):
             return cset.assoc
         return 0
 
+    def insert_fill(self, cset, tag: int, core: int):
+        if self._uses_bip(cset.index) and self._rng.random() >= self.epsilon:
+            return cset.fill_lru(tag, core)
+        return cset.fill_mru(tag, core)
+
+    def replace_fill(self, cset, victim, tag: int, core: int):
+        if self._uses_bip(cset.index) and self._rng.random() >= self.epsilon:
+            return cset.replace_lru(victim, tag, core)
+        return cset.replace_mru(victim, tag, core)
+
+    def victim(self, cset):
+        return cset.lru_block()
+
+    def eviction_candidates(self, cset):
+        return cset.iter_lru_to_mru()
+
     def eviction_order(self, cset) -> List:
-        return cset.blocks[::-1]
+        return list(cset.iter_lru_to_mru())

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import List
 
+from repro.cache.cacheset import CacheSet
 from repro.cache.replacement.base import ReplacementPolicy
 
 __all__ = ["LRUPolicy"]
@@ -13,13 +14,23 @@ class LRUPolicy(ReplacementPolicy):
     """Least-recently-used replacement.
 
     Fills insert at MRU, hits promote to MRU, and the eviction order walks
-    the recency list from the LRU end.
+    the recency list from the LRU end. Every hot-path operation is O(1) on
+    the linked-list set — and the hooks *are* the set operations (exposed
+    via ``staticmethod``), so the cache calls them with no delegation frame.
     """
 
     name = "lru"
+    recency_ordered = True
 
-    def insertion_position(self, cset, core: int) -> int:
-        return 0
+    insert_fill = staticmethod(CacheSet.fill_mru)
+    replace_fill = staticmethod(CacheSet.replace_mru)
+    on_hit = staticmethod(CacheSet.hit_promote)
+
+    def victim(self, cset):
+        return cset.lru_block()
+
+    def eviction_candidates(self, cset):
+        return cset.iter_lru_to_mru()
 
     def eviction_order(self, cset) -> List:
-        return cset.blocks[::-1]
+        return list(cset.iter_lru_to_mru())

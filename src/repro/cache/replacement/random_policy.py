@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import List
 
+from repro.cache.cacheset import CacheSet
 from repro.cache.replacement.base import ReplacementPolicy
 from repro.util.rng import make_rng
 
@@ -18,14 +19,14 @@ class RandomPolicy(ReplacementPolicy):
     def __init__(self, seed: int = 0) -> None:
         self._rng = make_rng(seed, "random-replacement")
 
-    def insertion_position(self, cset, core: int) -> int:
-        return 0
+    insert_fill = staticmethod(CacheSet.fill_mru)
+    replace_fill = staticmethod(CacheSet.replace_mru)
 
     def on_hit(self, cset, block, core: int) -> None:
         # Random replacement keeps no recency state; leave the order alone.
         pass
 
     def eviction_order(self, cset) -> List:
-        order = list(cset.blocks)
+        order = list(cset)
         self._rng.shuffle(order)
         return order

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import List
 
+from repro.cache.cacheset import CacheSet
 from repro.cache.replacement.base import ReplacementPolicy
 from repro.util.rng import make_rng
 
@@ -31,25 +32,30 @@ class SRRIPPolicy(ReplacementPolicy):
             raise ValueError(f"RRPV width must be >= 1, got {m}")
         self.max_rrpv = (1 << m) - 1
 
-    def insertion_position(self, cset, core: int) -> int:
-        return 0
+    insert_fill = staticmethod(CacheSet.fill_mru)
+    replace_fill = staticmethod(CacheSet.replace_mru)
 
     def on_fill(self, cset, block, core: int) -> None:
         block.rrpv = self.max_rrpv - 1
 
     def on_hit(self, cset, block, core: int) -> None:
         block.rrpv = 0
-        cset.move_to(block, 0)
+        cset.promote(block)
 
     def eviction_order(self, cset) -> List:
-        if not cset.blocks:
+        # LRU→MRU walk, aged in place until one block saturates (as the
+        # hardware's aging loop would), then ranked highest-RRPV first with
+        # LRU-most first among ties (stable sort over the LRU-first walk).
+        blocks = list(cset.iter_lru_to_mru())
+        if not blocks:
             return []
-        # Age in place until at least one block saturates, as hardware would.
-        while all(b.rrpv < self.max_rrpv for b in cset.blocks):
-            for b in cset.blocks:
-                b.rrpv += 1
-        # Highest RRPV first; LRU-most first among ties.
-        return sorted(cset.blocks[::-1], key=lambda b: b.rrpv, reverse=True)
+        oldest = max(b.rrpv for b in blocks)
+        if oldest < self.max_rrpv:
+            delta = self.max_rrpv - oldest
+            for b in blocks:
+                b.rrpv += delta
+        blocks.sort(key=lambda b: b.rrpv, reverse=True)
+        return blocks
 
 
 class BRRIPPolicy(SRRIPPolicy):

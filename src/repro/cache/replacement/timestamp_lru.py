@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import List
 
+from repro.cache.cacheset import CacheSet
 from repro.cache.replacement.base import ReplacementPolicy
 
 __all__ = ["TimestampLRUPolicy"]
@@ -53,16 +54,17 @@ class TimestampLRUPolicy(ReplacementPolicy):
         """Wrap-around age of ``block`` in timestamp ticks."""
         return (self.now - block.timestamp) % self._modulus
 
-    def insertion_position(self, cset, core: int) -> int:
-        return 0
+    insert_fill = staticmethod(CacheSet.fill_mru)
+    replace_fill = staticmethod(CacheSet.replace_mru)
 
     def on_hit(self, cset, block, core: int) -> None:
         block.timestamp = self.now
-        cset.move_to(block, 0)
+        cset.promote(block)
 
     def on_fill(self, cset, block, core: int) -> None:
         block.timestamp = self.now
 
     def eviction_order(self, cset) -> List:
-        # Oldest first; among same-tick blocks the LRU-most goes first.
-        return sorted(cset.blocks[::-1], key=self.age, reverse=True)
+        # Oldest first; among same-tick blocks the LRU-most goes first
+        # (stable sort over the LRU→MRU walk).
+        return sorted(cset.iter_lru_to_mru(), key=self.age, reverse=True)

@@ -47,16 +47,29 @@ class ShadowTagMonitor:
         while num_sets <= (1 << sample_shift) and sample_shift > 0:
             sample_shift -= 1
         self.sample_mask = (1 << sample_shift) - 1
-        # _tags[core][set_index] -> list of tags, MRU first.
-        self._tags: List[Dict[int, List[int]]] = [dict() for _ in range(num_cores)]
+        # _tags[core][set_index] -> (stack, members): the stack is a list of
+        # tags, MRU first; members mirrors it as a set so the frequent miss
+        # case is an O(1) probe instead of an O(assoc) list scan. One dict
+        # holds both, pre-populated for every sampled set so the observe
+        # path is a single unconditional subscript.
+        self._tags: List[Dict[int, tuple]] = [
+            {s: ([], set()) for s in range(0, num_sets, self.sample_mask + 1)}
+            for _ in range(num_cores)
+        ]
+        self._zero_row: List[int] = [0] * assoc
         # Interval counters.
         self.position_hits: List[List[int]] = [[0] * assoc for _ in range(num_cores)]
         self.shadow_misses: List[int] = [0] * num_cores
         self.shared_hits: List[int] = [0] * num_cores
         self.shared_misses: List[int] = [0] * num_cores
-        # Lifetime counters (never reset), for reporting.
-        self.lifetime_shadow_hits: List[int] = [0] * num_cores
-        self.lifetime_shadow_misses: List[int] = [0] * num_cores
+        # Lifetime totals folded in at each interval end; the lifetime_*
+        # properties add the live interval so reads stay exact without the
+        # per-access increments.
+        self._lifetime_hits: List[int] = [0] * num_cores
+        self._lifetime_misses: List[int] = [0] * num_cores
+        #: Specialised per-instance observe (shadows no class method; built
+        #: last so every pinned structure above exists).
+        self.observe = self._build_observe()
 
     @property
     def sample_ratio(self) -> int:
@@ -69,38 +82,68 @@ class ShadowTagMonitor:
 
     # -- observation -------------------------------------------------------
 
-    def observe(self, core: int, set_index: int, tag: int, shared_hit: bool) -> None:
-        """Record one access by ``core``; no-op for unsampled sets.
+    def _build_observe(self):
+        """Build the per-instance ``observe`` with its state pinned.
 
-        Args:
-            core: accessing core id.
-            set_index: set index in the real shared cache.
-            tag: block tag.
-            shared_hit: whether the access hit in the real shared cache.
+        The counters and shadow arrays are mutated in place everywhere (see
+        :meth:`end_interval`), so pinning them as default arguments is safe
+        and turns every per-access attribute chain into a LOAD_FAST.
         """
-        if not self.is_sampled(set_index):
-            return
-        if shared_hit:
-            self.shared_hits[core] += 1
-        else:
-            self.shared_misses[core] += 1
-        stack = self._tags[core].setdefault(set_index, [])
-        try:
-            position = stack.index(tag)
-        except ValueError:
-            position = -1
-        if position >= 0:
-            self.position_hits[core][position] += 1
-            self.lifetime_shadow_hits[core] += 1
-            del stack[position]
-        else:
-            self.shadow_misses[core] += 1
-            self.lifetime_shadow_misses[core] += 1
-            if len(stack) >= self.assoc:
-                stack.pop()
-        stack.insert(0, tag)
+
+        def observe(
+            core: int,
+            set_index: int,
+            tag: int,
+            shared_hit: bool,
+            _mask=self.sample_mask,
+            _tags=self._tags,
+            _shared_hits=self.shared_hits,
+            _shared_misses=self.shared_misses,
+            _position_hits=self.position_hits,
+            _shadow_misses=self.shadow_misses,
+            _assoc=self.assoc,
+        ) -> None:
+            """Record one access by ``core``; no-op for unsampled sets."""
+            if set_index & _mask:
+                return
+            if shared_hit:
+                _shared_hits[core] += 1
+            else:
+                _shared_misses[core] += 1
+            stack, members = _tags[core][set_index]
+            if tag in members:
+                if stack[0] == tag:
+                    # MRU re-reference: the common hit needs no list churn.
+                    _position_hits[core][0] += 1
+                    return
+                position = stack.index(tag)
+                _position_hits[core][position] += 1
+                del stack[position]
+            else:
+                _shadow_misses[core] += 1
+                if len(stack) >= _assoc:
+                    members.discard(stack.pop())
+                members.add(tag)
+            stack.insert(0, tag)
+
+        return observe
 
     # -- queries -------------------------------------------------------------
+
+    @property
+    def lifetime_shadow_hits(self) -> List[int]:
+        """Per-core stand-alone hits over the whole run (never reset)."""
+        return [
+            base + sum(row)
+            for base, row in zip(self._lifetime_hits, self.position_hits)
+        ]
+
+    @property
+    def lifetime_shadow_misses(self) -> List[int]:
+        """Per-core stand-alone misses over the whole run (never reset)."""
+        return [
+            base + cur for base, cur in zip(self._lifetime_misses, self.shadow_misses)
+        ]
 
     def standalone_hits(self, core: int) -> int:
         """Interval stand-alone hits of ``core`` on the sampled sets."""
@@ -124,9 +167,17 @@ class ShadowTagMonitor:
         return self.shared_hits[core] + self.shared_misses[core]
 
     def end_interval(self) -> None:
-        """Reset the interval counters (keep the shadow arrays warm)."""
-        for core in range(self.num_cores):
-            self.position_hits[core] = [0] * self.assoc
+        """Reset the interval counters in place (keep the shadow arrays warm).
+
+        Zeroing the existing rows instead of allocating fresh lists keeps any
+        outstanding references (and the allocator) happy across the thousands
+        of intervals a long run completes.
+        """
+        zero = self._zero_row
+        for core, row in enumerate(self.position_hits):
+            self._lifetime_hits[core] += sum(row)
+            self._lifetime_misses[core] += self.shadow_misses[core]
+            row[:] = zero
             self.shadow_misses[core] = 0
             self.shared_hits[core] = 0
             self.shared_misses[core] = 0

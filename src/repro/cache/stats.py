@@ -16,7 +16,13 @@ __all__ = ["CacheStats"]
 
 
 class CacheStats:
-    """Hit/miss/eviction counters for a shared cache with ``num_cores`` cores."""
+    """Hit/miss/eviction counters for a shared cache with ``num_cores`` cores.
+
+    Only the lifetime counters are written on the access path; the interval
+    counters are *derived* as lifetime-minus-baseline, where the baseline is
+    snapshotted by :meth:`reset_interval`. This halves the counter updates
+    per access while keeping the interval views exact.
+    """
 
     def __init__(self, num_cores: int) -> None:
         if num_cores < 1:
@@ -26,29 +32,53 @@ class CacheStats:
         self.misses: List[int] = [0] * num_cores
         # Evictions *suffered* by a core (its block was chosen as victim).
         self.evictions: List[int] = [0] * num_cores
-        self.interval_hits: List[int] = [0] * num_cores
-        self.interval_misses: List[int] = [0] * num_cores
-        self.interval_evictions: List[int] = [0] * num_cores
+        # Lifetime values at the start of the current interval.
+        self._base_hits: List[int] = [0] * num_cores
+        self._base_misses: List[int] = [0] * num_cores
+        self._base_evictions: List[int] = [0] * num_cores
+
+    # -- interval views ----------------------------------------------------
+
+    @property
+    def interval_hits(self) -> List[int]:
+        return [v - b for v, b in zip(self.hits, self._base_hits)]
+
+    @interval_hits.setter
+    def interval_hits(self, values: List[int]) -> None:
+        self._base_hits = [v - x for v, x in zip(self.hits, values)]
+
+    @property
+    def interval_misses(self) -> List[int]:
+        return [v - b for v, b in zip(self.misses, self._base_misses)]
+
+    @interval_misses.setter
+    def interval_misses(self, values: List[int]) -> None:
+        self._base_misses = [v - x for v, x in zip(self.misses, values)]
+
+    @property
+    def interval_evictions(self) -> List[int]:
+        return [v - b for v, b in zip(self.evictions, self._base_evictions)]
+
+    @interval_evictions.setter
+    def interval_evictions(self, values: List[int]) -> None:
+        self._base_evictions = [v - x for v, x in zip(self.evictions, values)]
 
     # -- recording --------------------------------------------------------
 
     def record_hit(self, core: int) -> None:
         self.hits[core] += 1
-        self.interval_hits[core] += 1
 
     def record_miss(self, core: int) -> None:
         self.misses[core] += 1
-        self.interval_misses[core] += 1
 
     def record_eviction(self, victim_core: int) -> None:
         self.evictions[victim_core] += 1
-        self.interval_evictions[victim_core] += 1
 
     def reset_interval(self) -> None:
-        """Zero the interval counters (called after each reallocation)."""
-        for counters in (self.interval_hits, self.interval_misses, self.interval_evictions):
-            for core in range(self.num_cores):
-                counters[core] = 0
+        """Re-baseline the interval counters (called after each reallocation)."""
+        self._base_hits[:] = self.hits
+        self._base_misses[:] = self.misses
+        self._base_evictions[:] = self.evictions
 
     # -- derived queries ----------------------------------------------------
 

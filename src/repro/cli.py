@@ -36,6 +36,16 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-sim",
         description="PriSM (ISCA 2012) reproduction: shared-cache simulation CLI",
     )
+    # Shared by every fan-out subcommand; exported as REPRO_JOBS so the
+    # parallel executor is picked up however deep the experiment code sits.
+    jobs_parent = argparse.ArgumentParser(add_help=False)
+    jobs_parent.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for independent runs (0 = all CPUs; "
+        "default: serial, or the REPRO_JOBS environment variable)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     list_p = sub.add_parser("list", help="list schemes, mixes, benchmarks, experiments")
@@ -53,13 +63,17 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--seed", type=int, default=0)
     run_p.add_argument("--scale-factor", type=int, default=64, help="cache scaling divisor")
 
-    cmp_p = sub.add_parser("compare", help="run one mix under several schemes")
+    cmp_p = sub.add_parser(
+        "compare", help="run one mix under several schemes", parents=[jobs_parent]
+    )
     cmp_p.add_argument("schemes", nargs="+", help="scheme registry names")
     cmp_p.add_argument("--mix", required=True)
     cmp_p.add_argument("--instructions", type=int, default=None)
     cmp_p.add_argument("--seed", type=int, default=0)
 
-    exp_p = sub.add_parser("experiment", help="regenerate a paper figure")
+    exp_p = sub.add_parser(
+        "experiment", help="regenerate a paper figure", parents=[jobs_parent]
+    )
     exp_p.add_argument("id", choices=sorted(EXPERIMENTS), help="experiment id")
     exp_p.add_argument("--instructions", type=int, default=None)
     exp_p.add_argument("--csv", default=None, help="also export tables as CSV (path prefix)")
@@ -72,7 +86,9 @@ def build_parser() -> argparse.ArgumentParser:
     char_p.add_argument("--accesses", type=int, default=30_000)
 
     report_p = sub.add_parser(
-        "report", help="regenerate the evaluation into a markdown report"
+        "report",
+        help="regenerate the evaluation into a markdown report",
+        parents=[jobs_parent],
     )
     report_p.add_argument("-o", "--output", default="results.md")
     report_p.add_argument("--budget", choices=["micro", "quick", "full"],
@@ -90,7 +106,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="probability width K for PriSM")
 
     sweep_p = sub.add_parser(
-        "sweep", help="sweep one scheme parameter over a mix (ANTT vs LRU)"
+        "sweep",
+        help="sweep one scheme parameter over a mix (ANTT vs LRU)",
+        parents=[jobs_parent],
     )
     sweep_p.add_argument("parameter", help="scheme kwarg to sweep "
                          "(e.g. interval_len, probability_bits, sample_shift)")
@@ -176,14 +194,23 @@ def cmd_run(args) -> int:
 
 
 def cmd_compare(args) -> int:
+    from repro.experiments.common import compare_schemes
+
     mix, cores = _resolve(args.mix)
     config = machine(cores)
-    rows = []
-    for scheme in args.schemes:
-        result = run_workload(
-            mix, config, scheme, seed=args.seed, instructions=args.instructions
-        )
-        rows.append([scheme, result.antt, result.fairness, result.throughput])
+    results = compare_schemes(
+        [mix] if isinstance(mix, str) else [tuple(mix)],
+        config,
+        args.schemes,
+        seed=args.seed,
+        instructions=args.instructions,
+        jobs=args.jobs,
+    )
+    per_scheme = next(iter(results.values()))
+    rows = [
+        [scheme, result.antt, result.fairness, result.throughput]
+        for scheme, result in per_scheme.items()
+    ]
     print(f"machine {config} | mix {args.mix}")
     print(format_table(["scheme", "ANTT", "fairness", "throughput"], rows, width=14))
     return 0
@@ -287,6 +314,12 @@ def cmd_sweep(args) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "jobs", None) is not None:
+        # Exported rather than threaded through every experiment signature:
+        # repro.experiments.parallel.resolve_jobs reads it at fan-out time.
+        import os
+
+        os.environ["REPRO_JOBS"] = str(args.jobs)
     handlers = {
         "list": cmd_list,
         "run": cmd_run,

@@ -47,6 +47,19 @@ class ProbabilisticCacheManager:
         fallback: ``"resample"`` or ``"paper"`` (see module docstring).
     """
 
+    __slots__ = (
+        "num_cores",
+        "fallback",
+        "_rng",
+        "_policy",
+        "_recency_ordered",
+        "_cumulative",
+        "victim_select",
+        "probabilities",
+        "replacements",
+        "victim_not_found",
+    )
+
     def __init__(self, num_cores: int, seed: int = 0, fallback: str = "resample") -> None:
         if num_cores < 1:
             raise ValueError(f"num_cores must be >= 1, got {num_cores}")
@@ -55,6 +68,15 @@ class ProbabilisticCacheManager:
         self.num_cores = num_cores
         self.fallback = fallback
         self._rng = make_rng(seed, "prism-manager")
+        self._policy = None
+        self._recency_ordered = False
+        # The list object is mutated in place by set_distribution so the
+        # specialised selector built by bind_policy stays valid across
+        # interval re-allocations.
+        self._cumulative: List[float] = [1.0]
+        #: Resolved per-replacement entry point; bind_policy swaps in a
+        #: specialised closure when the policy's order is the recency order.
+        self.victim_select = self.victim_block
         self.set_distribution([1.0 / num_cores] * num_cores)
         self.replacements = 0
         #: Replacements where the sampled core had no block in the set.
@@ -79,14 +101,54 @@ class ProbabilisticCacheManager:
         if abs(total - 1.0) > 1e-6:
             raise ValueError(f"eviction probabilities sum to {total}, expected 1")
         self.probabilities: List[float] = list(probabilities)
-        self._cumulative = list(accumulate(probabilities))
-        self._cumulative[-1] = 1.0  # guard against float drift at the top end
+        cumulative = list(accumulate(probabilities))
+        cumulative[-1] = 1.0  # guard against float drift at the top end
+        self._cumulative[:] = cumulative  # in place: selectors hold a reference
 
     def sample_core(self) -> int:
         """Core-selection: draw a victim core id distributed as ``E``."""
         return bisect_right(self._cumulative, self._rng.random())
 
     # -- replacement ----------------------------------------------------------
+
+    def bind_policy(self, policy) -> None:
+        """Fix the baseline policy so :meth:`victim_block` can skip it."""
+        self._policy = policy
+        self._recency_ordered = bool(getattr(policy, "recency_ordered", False))
+        if self._recency_ordered:
+            self.victim_select = self._make_recency_select()
+        else:
+            self.victim_select = self.victim_block
+
+    def _make_recency_select(self):
+        """Specialised two-step replacement for recency-ordered policies.
+
+        Hot state is pinned in default arguments (one LOAD_FAST each instead
+        of attribute chains); ``_cumulative`` is mutated in place by
+        :meth:`set_distribution` so the pinned reference tracks ``E``. The
+        RNG is pinned as the object, not its bound method, so tests that
+        substitute ``_rng.random`` keep working.
+        """
+
+        def select(
+            cset,
+            core: int = -1,
+            _mgr=self,
+            _cum=self._cumulative,
+            _rng=self._rng,
+            _bisect=bisect_right,
+        ):
+            _mgr.replacements += 1
+            target_core = _bisect(_cum, _rng.random())
+            # _core_counts is a defaultdict: a plain subscript, no .get.
+            if cset._core_counts[target_core]:
+                node = cset._tail.prev
+                while node.core != target_core:
+                    node = node.prev
+                return node
+            return _mgr._recency_fallback(cset)
+
+        return select
 
     def select_victim(self, cset, policy):
         """Run the two-step replacement on a full set.
@@ -99,12 +161,36 @@ class ProbabilisticCacheManager:
         Returns:
             The victim :class:`~repro.cache.block.CacheBlock`.
         """
+        self.bind_policy(policy)
+        return self.victim_block(cset)
+
+    def victim_block(self, cset, core: int = -1):
+        """Two-step replacement against the bound policy.
+
+        The cache-facing hot entry point (accepts and ignores the requesting
+        ``core`` so it can serve as a scheme's resolved ``select_victim``);
+        requires :meth:`bind_policy` (or a prior :meth:`select_victim` call).
+        """
         self.replacements += 1
-        target_core = self.sample_core()
-        order = policy.eviction_order(cset)
+        target_core = bisect_right(self._cumulative, self._rng.random())
+        # Fast path: when the policy's preference order is exactly the
+        # recency order, victim-identification is a direct linked-list walk
+        # from the LRU end — O(victim depth), no generator, no list.
+        if self._recency_ordered:
+            if cset._core_counts[target_core]:
+                node = cset._tail.prev
+                while node.core != target_core:
+                    node = node.prev
+                return node
+            return self._recency_fallback(cset)
+        order = list(self._policy.eviction_candidates(cset))
         for block in order:
             if block.core == target_core:
                 return block
+        return self._victim_fallback(cset, order)
+
+    def _victim_fallback(self, cset, order):
+        """Fallback over a materialised preference order (non-recency)."""
         self.victim_not_found += 1
         if self.fallback == "paper":
             # First candidate from any core with non-zero eviction
@@ -136,6 +222,49 @@ class ProbabilisticCacheManager:
             if block.core == chosen:
                 return block
         return order[0]  # unreachable; defensive
+
+    def _recency_fallback(self, cset):
+        """The fallback specialised to a recency-ordered preference order.
+
+        Uses the set's incremental per-core counts and intrusive recency
+        list in place of materialising ``eviction_candidates``: the resample
+        iterates resident cores (in first-residency order) rather than
+        blocks, then walks to the chosen core's LRU-most block.
+        """
+        self.victim_not_found += 1
+        probabilities = self.probabilities
+        lru = cset._tail.prev
+        if self.fallback == "paper":
+            head = cset._head
+            node = lru
+            while node is not head:
+                if probabilities[node.core] > 0.0:
+                    return node
+                node = node.prev
+            return lru  # every resident core has E == 0: baseline victim
+        # Resample E restricted to the cores present in this set.
+        counts = cset._core_counts
+        total = 0.0
+        for c, n in counts.items():
+            if n:
+                total += probabilities[c]
+        if total <= 0.0:
+            return lru
+        draw = self._rng.random() * total
+        acc = 0.0
+        chosen = -1
+        for c, n in counts.items():
+            if n:
+                p = probabilities[c]
+                if p > 0.0:
+                    acc += p
+                    chosen = c
+                    if draw <= acc:
+                        break
+        node = lru
+        while node.core != chosen:
+            node = node.prev
+        return node
 
     def victim_not_found_rate(self) -> float:
         """Fraction of replacements that hit the fallback path (Fig. 13)."""

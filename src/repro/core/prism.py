@@ -103,6 +103,10 @@ class PrismScheme(ManagementScheme):
         self.manager = ProbabilisticCacheManager(
             num_cores, seed=self._seed, fallback=self._fallback
         )
+        # Hand the cache the manager's victim routine directly — the miss
+        # path calls it without a delegation hop through select_victim.
+        self.manager.bind_policy(self.cache.policy)
+        self._resolved_select = self.manager.victim_select
         self.shadow = ShadowTagMonitor(
             num_cores, geometry.num_sets, geometry.assoc, sample_shift=self._sample_shift
         )

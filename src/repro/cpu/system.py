@@ -77,6 +77,8 @@ class _IntervalListener:
     def observe(self, core: int, set_index: int, tag: int, hit: bool) -> None:
         pass
 
+    observe._hot_noop = True  # only end_interval matters; skip per-access calls
+
     def end_interval(self) -> None:
         self.system.roll_interval_snapshots()
 

@@ -6,6 +6,7 @@ wraps these in pytest-benchmark entry points that print paper-style rows.
 """
 
 from repro.experiments.configs import MachineConfig, machine
+from repro.experiments.parallel import RunSpec, parallel_compare_schemes, resolve_jobs, run_specs
 from repro.experiments.runner import WorkloadResult, run_workload, standalone_ipcs
 from repro.experiments.schemes import SCHEMES, build_scheme
 
@@ -17,4 +18,8 @@ __all__ = [
     "standalone_ipcs",
     "SCHEMES",
     "build_scheme",
+    "RunSpec",
+    "resolve_jobs",
+    "run_specs",
+    "parallel_compare_schemes",
 ]

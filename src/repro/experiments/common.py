@@ -32,12 +32,31 @@ def compare_schemes(
     seed: int = 0,
     scheme_kwargs: Optional[Dict[str, dict]] = None,
     progress: Progress = None,
+    jobs: Optional[int] = None,
 ) -> Dict[str, Dict[str, WorkloadResult]]:
     """Run every mix under every scheme.
+
+    Args:
+        jobs: worker processes; ``None`` consults ``REPRO_JOBS`` (see
+            :mod:`repro.experiments.parallel`). Above 1, the grid runs on
+            a process pool with results bit-identical to the serial loop.
 
     Returns:
         ``results[mix][scheme] -> WorkloadResult``.
     """
+    from repro.experiments.parallel import parallel_compare_schemes, resolve_jobs
+
+    if resolve_jobs(jobs) > 1:
+        return parallel_compare_schemes(
+            mixes,
+            config,
+            schemes,
+            instructions=instructions,
+            seed=seed,
+            scheme_kwargs=scheme_kwargs,
+            progress=progress,
+            jobs=jobs,
+        )
     scheme_kwargs = scheme_kwargs or {}
     results: Dict[str, Dict[str, WorkloadResult]] = {}
     for mix in mixes:

@@ -14,7 +14,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.configs import MachineConfig
-from repro.experiments.runner import WorkloadResult, run_workload
+from repro.experiments.parallel import RunSpec, run_specs
+from repro.experiments.runner import WorkloadResult
 
 __all__ = ["MetricSummary", "SeedSweep", "run_seeds", "compare_with_confidence"]
 
@@ -68,25 +69,31 @@ def run_seeds(
     instructions: Optional[int] = None,
     scheme_kwargs: Optional[dict] = None,
     confidence: float = 0.95,
+    jobs: Optional[int] = None,
 ) -> SeedSweep:
     """Run one (mix, scheme) across several seeds and summarise.
+
+    Seed sweeps are the natural fan-out unit: every per-seed run is
+    independent, so ``jobs`` above 1 (or ``REPRO_JOBS``) distributes them
+    over a process pool with per-seed results identical to a serial loop
+    (see :mod:`repro.experiments.parallel`).
 
     Raises:
         ValueError: if no seeds are given.
     """
     if not seeds:
         raise ValueError("need at least one seed")
-    results = [
-        run_workload(
-            mix,
-            config,
-            scheme,
+    specs = [
+        RunSpec(
+            mix=mix,
+            scheme=scheme,
             seed=seed,
             instructions=instructions,
             scheme_kwargs=scheme_kwargs,
         )
         for seed in seeds
     ]
+    results = run_specs(specs, config, jobs=jobs)
     sweep = SeedSweep(mix=results[0].mix, scheme=scheme, results=results)
     for metric in _METRICS:
         values = [getattr(r, metric) for r in results]
@@ -102,6 +109,7 @@ def compare_with_confidence(
     seeds: Sequence[int] = (0, 1, 2, 3, 4),
     metric: str = "antt",
     instructions: Optional[int] = None,
+    jobs: Optional[int] = None,
 ) -> Tuple[SeedSweep, SeedSweep, bool]:
     """Run two schemes across seeds; report whether A beats B decisively.
 
@@ -111,7 +119,7 @@ def compare_with_confidence(
         lower-is-better orientation handled by the caller — this function
         only reports separation).
     """
-    sweep_a = run_seeds(mix, config, scheme_a, seeds, instructions=instructions)
-    sweep_b = run_seeds(mix, config, scheme_b, seeds, instructions=instructions)
+    sweep_a = run_seeds(mix, config, scheme_a, seeds, instructions=instructions, jobs=jobs)
+    sweep_b = run_seeds(mix, config, scheme_b, seeds, instructions=instructions, jobs=jobs)
     separated = not sweep_a.metrics[metric].overlaps(sweep_b.metrics[metric])
     return sweep_a, sweep_b, separated

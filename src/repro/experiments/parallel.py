@@ -1,0 +1,206 @@
+"""Parallel experiment executor: fan (mix, scheme, seed) runs over processes.
+
+The simulator is single-threaded pure Python, but every figure in the
+paper's evaluation is an *embarrassingly parallel* grid of independent
+``run_workload`` calls — mixes × schemes (× seeds for the noise sweeps).
+This module executes such grids over a ``multiprocessing`` pool while
+keeping the results **bit-identical to a serial run**:
+
+- Every run's randomness derives from the spec itself:
+  :func:`~repro.experiments.runner.run_workload` seeds its streams with
+  ``derive_seed(seed, "shared", mix, scheme)`` and its stand-alone
+  baselines with fixed salts, so a run's outcome depends only on its
+  ``RunSpec`` — never on scheduling order or which worker executes it.
+- Results are reassembled by submission index, so callers observe the
+  exact ordering a serial loop would have produced.
+
+Workers are started with the ``fork`` context where available, so they
+inherit the parent's imported modules (no re-import cost per worker), and
+each worker keeps the runner's memoised stand-alone IPC cache warm across
+every spec it executes — the ``IPC^SP`` baselines are computed at most
+once per (profile, geometry, policy) per worker.
+
+``jobs`` semantics (shared by every entry point that accepts ``jobs=``):
+
+- ``None`` — consult the ``REPRO_JOBS`` environment variable (the CLI's
+  ``--jobs`` flag and ``examples/reproduce_paper.py --jobs`` set it, which
+  is how the figure experiments deep inside the registry pick the value
+  up without threading a parameter through every signature); unset or
+  invalid means serial.
+- ``<= 0`` — use ``os.cpu_count()``.
+- ``1`` — run serially in-process (no pool, no pickling).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.experiments.configs import MachineConfig
+from repro.experiments.runner import WorkloadResult, run_workload
+
+__all__ = ["RunSpec", "resolve_jobs", "run_specs", "parallel_compare_schemes"]
+
+#: Environment variable consulted when ``jobs`` is ``None``.
+JOBS_ENV = "REPRO_JOBS"
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One independent workload run: the unit the pool distributes.
+
+    Attributes mirror :func:`~repro.experiments.runner.run_workload`'s
+    signature; a spec must be picklable (mix names or benchmark-name
+    sequences, not live simulator objects).
+    """
+
+    mix: Union[str, Sequence[str]]
+    scheme: str = "lru"
+    seed: int = 0
+    instructions: Optional[int] = None
+    scheme_kwargs: Optional[dict] = None
+
+    def describe(self) -> str:
+        return f"{self.mix} / {self.scheme} / seed {self.seed}"
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Resolve a ``jobs`` argument to a concrete worker count (>= 1)."""
+    if jobs is None:
+        try:
+            jobs = int(os.environ.get(JOBS_ENV, "1"))
+        except ValueError:
+            jobs = 1
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+    return jobs
+
+
+# -- worker side ------------------------------------------------------------
+
+#: The machine config, installed once per worker by the pool initializer so
+#: it is not re-pickled with every task.
+_worker_config: Optional[MachineConfig] = None
+
+
+def _init_worker(config: MachineConfig) -> None:
+    global _worker_config
+    _worker_config = config
+
+
+def _run_indexed_spec(item):
+    index, spec = item
+    result = run_workload(
+        spec.mix,
+        _worker_config,
+        spec.scheme,
+        seed=spec.seed,
+        instructions=spec.instructions,
+        scheme_kwargs=spec.scheme_kwargs,
+    )
+    return index, result
+
+
+# -- driver side ------------------------------------------------------------
+
+
+def _pool_context():
+    import multiprocessing
+
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def run_specs(
+    specs: Sequence[RunSpec],
+    config: MachineConfig,
+    jobs: Optional[int] = None,
+    progress=None,
+) -> List[WorkloadResult]:
+    """Execute every spec and return results in spec order.
+
+    Args:
+        specs: the runs to execute (see :class:`RunSpec`).
+        config: machine shared by every run.
+        jobs: worker processes (see module docstring for the resolution
+            rules). ``1`` executes serially in-process.
+        progress: optional ``callable(str)`` invoked as runs complete.
+
+    Returns:
+        ``results[i]`` is the outcome of ``specs[i]`` — identical, field
+        for field, to what a serial ``run_workload`` loop would produce.
+    """
+    specs = list(specs)
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(specs) <= 1:
+        results = []
+        for spec in specs:
+            if progress:
+                progress(spec.describe())
+            results.append(
+                run_workload(
+                    spec.mix,
+                    config,
+                    spec.scheme,
+                    seed=spec.seed,
+                    instructions=spec.instructions,
+                    scheme_kwargs=spec.scheme_kwargs,
+                )
+            )
+        return results
+
+    results: List[Optional[WorkloadResult]] = [None] * len(specs)
+    done = 0
+    ctx = _pool_context()
+    with ctx.Pool(
+        processes=min(jobs, len(specs)),
+        initializer=_init_worker,
+        initargs=(config,),
+    ) as pool:
+        # Unordered completion for throughput; the index restores spec
+        # order so parallel output is indistinguishable from serial.
+        for index, result in pool.imap_unordered(
+            _run_indexed_spec, list(enumerate(specs))
+        ):
+            results[index] = result
+            done += 1
+            if progress:
+                progress(f"[{done}/{len(specs)}] {specs[index].describe()}")
+    return results  # type: ignore[return-value]
+
+
+def parallel_compare_schemes(
+    mixes: Sequence[str],
+    config: MachineConfig,
+    schemes: Sequence[str],
+    instructions: Optional[int] = None,
+    seed: int = 0,
+    scheme_kwargs: Optional[Dict[str, dict]] = None,
+    progress=None,
+    jobs: Optional[int] = None,
+) -> Dict[str, Dict[str, WorkloadResult]]:
+    """The (mixes × schemes) grid behind every figure, executed by the pool.
+
+    Same signature and return shape as
+    :func:`repro.experiments.common.compare_schemes` (which delegates here
+    when ``jobs`` resolves above 1): ``results[mix][scheme]``.
+    """
+    scheme_kwargs = scheme_kwargs or {}
+    specs = [
+        RunSpec(
+            mix=mix,
+            scheme=scheme,
+            seed=seed,
+            instructions=instructions,
+            scheme_kwargs=scheme_kwargs.get(scheme),
+        )
+        for mix in mixes
+        for scheme in schemes
+    ]
+    flat = run_specs(specs, config, jobs=jobs, progress=progress)
+    results: Dict[str, Dict[str, WorkloadResult]] = {mix: {} for mix in mixes}
+    for spec, result in zip(specs, flat):
+        results[spec.mix][spec.scheme] = result
+    return results

@@ -39,6 +39,34 @@ class ManagementScheme:
     def attach(self, cache: "SharedCache") -> None:
         """Bind the scheme to ``cache`` and run scheme-specific setup."""
         self.cache = cache
+        # Legacy schemes express placement as a recency index via
+        # insertion_position(); route the position-free insert_fill() through
+        # it so they keep working without the O(assoc) cost for everyone else.
+        cls = type(self)
+        base = ManagementScheme
+        self._legacy_insert = (
+            cls.insertion_position is not base.insertion_position
+            and cls.insert_fill is base.insert_fill
+        )
+        # Resolve the per-access hooks once (before on_attach, which may
+        # already re-wire the cache by registering monitors): a scheme that
+        # does not override a hook hands the cache the *policy's* bound
+        # method directly, so the hot path never pays for a delegation hop
+        # through this base class.
+        policy = cache.policy
+        defers_insert = cls.insert_fill is base.insert_fill and not self._legacy_insert
+        self._resolved_insert = policy.insert_fill if defers_insert else self.insert_fill
+        self._resolved_replace = (
+            policy.replace_fill
+            if defers_insert and cls.replace_fill is base.replace_fill
+            else self.replace_fill
+        )
+        self._resolved_on_hit = (
+            policy.on_hit if cls.on_hit is base.on_hit else self.on_hit
+        )
+        self._resolved_select = (
+            None if cls.select_victim is base.select_victim else self.select_victim
+        )
         self.on_attach()
 
     def on_attach(self) -> None:
@@ -51,8 +79,25 @@ class ManagementScheme:
         return self.cache.policy.victim(cset)
 
     def insertion_position(self, cset: "CacheSet", core: int) -> int:
-        """Recency position for the incoming block."""
+        """Recency position for the incoming block (legacy/inspection API)."""
         return self.cache.policy.insertion_position(cset, core)
+
+    def insert_fill(self, cset: "CacheSet", tag: int, core: int) -> "CacheBlock":
+        """Fill (``tag``, ``core``) into ``cset`` where the scheme wants it.
+
+        Defaults to the baseline policy's placement; schemes that only
+        override :meth:`insertion_position` are routed through it.
+        """
+        if self._legacy_insert:
+            return cset.fill(tag, core, self.insertion_position(cset, core))
+        return self.cache.policy.insert_fill(cset, tag, core)
+
+    def replace_fill(
+        self, cset: "CacheSet", victim: "CacheBlock", tag: int, core: int
+    ) -> "CacheBlock":
+        """Evict ``victim`` and place the incoming block in one step."""
+        cset.evict(victim)
+        return self.insert_fill(cset, tag, core)
 
     def on_hit(self, cset: "CacheSet", block: "CacheBlock", core: int) -> None:
         """Hit behaviour; default is the baseline policy's promotion."""
@@ -60,6 +105,8 @@ class ManagementScheme:
 
     def on_fill(self, cset: "CacheSet", block: "CacheBlock", core: int) -> None:
         """Post-fill hook (stamp scheme metadata on the new block)."""
+
+    on_fill._hot_noop = True
 
     # -- interval hook ---------------------------------------------------------
 
@@ -71,7 +118,7 @@ class ManagementScheme:
     def first_victim_of(self, cset: "CacheSet", cores: Iterable[int]) -> Optional["CacheBlock"]:
         """First block in baseline eviction order owned by any of ``cores``."""
         wanted = set(cores)
-        for block in self.cache.policy.eviction_order(cset):
+        for block in self.cache.policy.eviction_candidates(cset):
             if block.core in wanted:
                 return block
         return None

@@ -85,12 +85,14 @@ class PIPPScheme(ManagementScheme):
         pi = 1 if self.streaming[core] else self.pi[core]
         return max(0, cset.assoc - pi)
 
+    def insert_fill(self, cset, tag: int, core: int):
+        pi = 1 if self.streaming[core] else self.pi[core]
+        return cset.fill(tag, core, max(0, cset.assoc - pi))
+
     def on_hit(self, cset, block, core: int) -> None:
         prob = self.stream_prom_prob if self.streaming[block.core] else self.prom_prob
         if self._rng.random() < prob:
-            position = cset.position_of(block)
-            if position > 0:
-                cset.move_to(block, position - 1)
+            cset.promote_one(block)
 
     def select_victim(self, cset, core: int):
         return self.cache.policy.victim(cset)

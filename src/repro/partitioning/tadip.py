@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+from repro.cache.cacheset import CacheSet
 from repro.cache.replacement.base import ReplacementPolicy
 from repro.util.rng import make_rng
 
@@ -34,6 +35,9 @@ class TADIPPolicy(ReplacementPolicy):
     """
 
     name = "tadip"
+    recency_ordered = True
+
+    on_hit = staticmethod(CacheSet.hit_promote)
 
     def __init__(
         self,
@@ -91,5 +95,21 @@ class TADIPPolicy(ReplacementPolicy):
             return cset.assoc
         return 0
 
+    def insert_fill(self, cset, tag: int, core: int):
+        if self._uses_bip(cset.index, core) and self._rng.random() >= self.epsilon:
+            return cset.fill_lru(tag, core)
+        return cset.fill_mru(tag, core)
+
+    def replace_fill(self, cset, victim, tag: int, core: int):
+        if self._uses_bip(cset.index, core) and self._rng.random() >= self.epsilon:
+            return cset.replace_lru(victim, tag, core)
+        return cset.replace_mru(victim, tag, core)
+
+    def victim(self, cset):
+        return cset.lru_block()
+
+    def eviction_candidates(self, cset):
+        return cset.iter_lru_to_mru()
+
     def eviction_order(self, cset) -> List:
-        return cset.blocks[::-1]
+        return list(cset.iter_lru_to_mru())

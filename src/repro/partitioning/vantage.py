@@ -117,31 +117,42 @@ class VantageScheme(ManagementScheme):
 
     def select_victim(self, cset, core: int):
         policy: TimestampLRUPolicy = self.cache.policy
-        # Demotion pass: each partition present in the set may demote its
-        # oldest managed block with its aperture probability.
+        now = policy.now
+        modulus = policy._modulus
+        # Single pass over the recency list: find each partition's oldest
+        # managed block (demotion candidates), the oldest unmanaged block
+        # (the victim-to-be), and the oldest block overall (forced-eviction
+        # fallback). Age arithmetic is inlined — this runs on every miss.
         oldest_managed = {}
-        for block in cset.blocks:
+        victim = None
+        victim_age = -1
+        oldest = None
+        oldest_age = -1
+        for block in cset:
+            age = (now - block.timestamp) % modulus
+            if age > oldest_age:
+                oldest, oldest_age = block, age
             if block.managed:
                 current = oldest_managed.get(block.core)
-                if current is None or policy.age(block) > policy.age(current):
-                    oldest_managed[block.core] = block
-        for owner, block in oldest_managed.items():
+                if current is None or age > current[1]:
+                    oldest_managed[block.core] = (block, age)
+            elif age > victim_age:
+                victim, victim_age = block, age
+        # Demotion pass: each partition present in the set may demote its
+        # oldest managed block with its aperture probability; a block demoted
+        # here immediately competes for victimhood by age.
+        for owner, (block, age) in oldest_managed.items():
             aperture = self.aperture(owner)
             if aperture > 0.0 and self._rng.random() < aperture:
                 block.managed = False
                 self.managed_count[owner] -= 1
                 self.demotions += 1
-        # Victim: oldest unmanaged block, else forced eviction of the oldest.
-        victim = None
-        victim_age = -1
-        for block in cset.blocks:
-            if not block.managed:
-                age = policy.age(block)
                 if age > victim_age:
                     victim, victim_age = block, age
+        # Victim: oldest unmanaged block, else forced eviction of the oldest.
         if victim is None:
             self.forced_evictions += 1
-            victim = max(cset.blocks, key=policy.age)
+            victim = oldest
             if victim.managed:
                 self.managed_count[victim.core] -= 1
         return victim

@@ -108,9 +108,8 @@ class WayPartitionScheme(ManagementScheme):
         ``core`` (the requester) counts as over-quota when it already holds
         at least its quota in this set — its own LRU-most block goes.
         """
-        counts = [0] * self.cache.num_cores
-        for block in cset.blocks:
-            counts[block.core] += 1
+        count_core = cset.count_core
+        counts = [count_core(c) for c in range(self.cache.num_cores)]
         if counts[core] >= self.quotas[core]:
             victim = self.first_victim_of(cset, (core,))
             if victim is not None:

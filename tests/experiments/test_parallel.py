@@ -1,0 +1,136 @@
+"""Tests for the parallel experiment executor.
+
+The load-bearing property is *bit-identical determinism*: a parallel run
+must be indistinguishable from the serial loop it replaces, whatever the
+worker count or completion order. ``WorkloadResult`` and ``CoreResult``
+are plain dataclasses of primitives, so ``==`` compares every reported
+figure exactly (no tolerances).
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.common import compare_schemes
+from repro.experiments.configs import machine
+from repro.experiments.multi_seed import run_seeds
+from repro.experiments.parallel import (
+    JOBS_ENV,
+    RunSpec,
+    parallel_compare_schemes,
+    resolve_jobs,
+    run_specs,
+)
+from repro.experiments.runner import clear_standalone_cache, run_workload
+
+CONFIG = machine(4, instructions=3_000)
+INSTR = 3_000
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches(monkeypatch):
+    """Isolate the memoised stand-alone IPCs and the jobs environment."""
+    monkeypatch.delenv(JOBS_ENV, raising=False)
+    clear_standalone_cache()
+    yield
+    clear_standalone_cache()
+
+
+class TestResolveJobs:
+    def test_default_is_serial(self):
+        assert resolve_jobs(None) == 1
+
+    def test_explicit_value(self):
+        assert resolve_jobs(3) == 3
+
+    def test_env_variable(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "5")
+        assert resolve_jobs(None) == 5
+
+    def test_explicit_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "5")
+        assert resolve_jobs(2) == 2
+
+    def test_invalid_env_is_serial(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "many")
+        assert resolve_jobs(None) == 1
+
+    def test_zero_means_all_cpus(self):
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+        assert resolve_jobs(-1) >= 1
+
+
+class TestRunSpecs:
+    def test_serial_matches_run_workload(self):
+        spec = RunSpec(mix="Q1", scheme="lru", instructions=INSTR)
+        [result] = run_specs([spec], CONFIG, jobs=1)
+        expected = run_workload("Q1", CONFIG, "lru", instructions=INSTR)
+        assert result == expected
+
+    def test_results_in_spec_order(self):
+        specs = [
+            RunSpec(mix="Q1", scheme="lru", instructions=INSTR),
+            RunSpec(mix="Q2", scheme="lru", instructions=INSTR),
+            RunSpec(mix="Q1", scheme="prism-h", instructions=INSTR),
+        ]
+        results = run_specs(specs, CONFIG, jobs=2)
+        assert [r.mix for r in results] == ["Q1", "Q2", "Q1"]
+        assert [r.scheme for r in results] == ["lru", "lru", "prism-h"]
+
+    def test_empty_specs(self):
+        assert run_specs([], CONFIG, jobs=2) == []
+
+    def test_progress_called_per_run(self):
+        messages = []
+        specs = [
+            RunSpec(mix="Q1", scheme="lru", instructions=INSTR),
+            RunSpec(mix="Q1", scheme="dip", instructions=INSTR),
+        ]
+        run_specs(specs, CONFIG, jobs=1, progress=messages.append)
+        assert len(messages) == 2
+        assert "Q1" in messages[0] and "lru" in messages[0]
+
+
+class TestParallelIdenticalToSerial:
+    """The acceptance property: pool results == serial results, exactly."""
+
+    MIXES = ["Q1", "Q2"]
+    SCHEMES = ["lru", "prism-h"]
+
+    def test_compare_schemes_bit_identical(self):
+        serial = compare_schemes(
+            self.MIXES, CONFIG, self.SCHEMES, instructions=INSTR, jobs=1
+        )
+        clear_standalone_cache()
+        parallel = compare_schemes(
+            self.MIXES, CONFIG, self.SCHEMES, instructions=INSTR, jobs=2
+        )
+        assert set(serial) == set(parallel)
+        for mix in serial:
+            for scheme in serial[mix]:
+                # Dataclass equality: every metric, per-core counter and
+                # extra diagnostic must match exactly.
+                assert serial[mix][scheme] == parallel[mix][scheme]
+
+    def test_compare_schemes_env_opt_in(self, monkeypatch):
+        serial = compare_schemes(["Q1"], CONFIG, ["lru"], instructions=INSTR)
+        clear_standalone_cache()
+        monkeypatch.setenv(JOBS_ENV, "2")
+        parallel = compare_schemes(["Q1"], CONFIG, ["lru"], instructions=INSTR)
+        assert serial["Q1"]["lru"] == parallel["Q1"]["lru"]
+
+    def test_parallel_compare_schemes_shape(self):
+        results = parallel_compare_schemes(
+            ["Q1"], CONFIG, ["lru", "dip"], instructions=INSTR, jobs=2
+        )
+        assert list(results) == ["Q1"]
+        assert list(results["Q1"]) == ["lru", "dip"]
+
+    def test_run_seeds_bit_identical(self):
+        serial = run_seeds("Q1", CONFIG, "prism-h", seeds=(0, 1), instructions=INSTR)
+        clear_standalone_cache()
+        parallel = run_seeds(
+            "Q1", CONFIG, "prism-h", seeds=(0, 1), instructions=INSTR, jobs=2
+        )
+        assert serial.results == parallel.results
+        assert serial.metrics == parallel.metrics
