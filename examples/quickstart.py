@@ -34,7 +34,7 @@ def main() -> None:
     prism = run_workload(args.mix, config, "prism-h", instructions=args.instructions)
 
     print(f"{'benchmark':>16} {'IPC alone':>10} {'IPC (LRU)':>10} {'IPC (PriSM)':>12} {'E_i':>7}")
-    probabilities = prism.extra["eviction_probabilities"]
+    probabilities = prism.eviction_probabilities
     for core, name in enumerate(lru.benchmarks):
         print(
             f"{name:>16} {lru.standalone[core]:>10.3f} {lru.cores[core].ipc:>10.3f} "
@@ -46,7 +46,7 @@ def main() -> None:
     improvement = (1.0 - prism.antt / lru.antt) * 100.0
     print(f"PriSM-H improves ANTT by {improvement:.1f}% over LRU")
     print(f"(allocation recomputed {prism.intervals} times; "
-          f"victim-not-found rate {prism.extra['victim_not_found_rate']:.2%})")
+          f"victim-not-found rate {prism.victim_not_found_rate:.2%})")
 
 
 if __name__ == "__main__":

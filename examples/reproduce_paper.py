@@ -18,6 +18,7 @@ import argparse
 import os
 import time
 
+from repro.experiments.options import RunOptions
 from repro.experiments.registry import EXPERIMENTS
 
 #: Per-experiment quick-budget kwargs (instruction windows + mix subsets).
@@ -61,11 +62,14 @@ def main() -> None:
     for experiment_id in ids:
         experiment = EXPERIMENTS[experiment_id]
         kwargs = dict(_QUICK.get(experiment_id, {})) if args.budget == "quick" else {}
+        options = RunOptions(
+            instructions=kwargs.pop("instructions", None), progress=progress
+        )
         print("=" * 78)
         print(f"[{experiment.id}] {experiment.title}")
         print("=" * 78)
         start = time.time()
-        result = experiment.run(progress=progress, **kwargs)
+        result = experiment.run(options=options, **kwargs)
         print(experiment.format(result))
         print(f"({time.time() - start:.0f}s)\n")
 

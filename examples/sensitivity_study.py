@@ -15,7 +15,7 @@ Usage::
 import argparse
 
 from repro.experiments.configs import machine
-from repro.experiments.runner import clear_standalone_cache, run_workload
+from repro.experiments.runner import DEFAULT_STANDALONE_CACHE, run_workload
 
 
 def ratio(mix, config, instructions, **scheme_kwargs):
@@ -58,7 +58,7 @@ def main() -> None:
 
     print("\ncache scale (scale_factor: capacity = paper / factor):")
     for factor in (128, 64, 32):
-        clear_standalone_cache()  # different geometry, fresh baselines
+        DEFAULT_STANDALONE_CACHE.clear()  # different geometry, fresh baselines
         scaled = machine(4, scale_factor=factor)
         r = ratio(args.mix, scaled, args.instructions)
         print(f"  1/{factor:<4}   ({scaled.geometry}): {r:.4f}")

@@ -35,7 +35,8 @@ from repro.core import (
     derive_eviction_probabilities,
 )
 from repro.cpu import MultiCoreSystem, run_standalone
-from repro.experiments import machine, run_workload
+from repro.experiments import RunOptions, machine, run_workload
+from repro.telemetry import RunTelemetry, TelemetryRecorder
 from repro.workloads import get_mix, get_profile
 
 __version__ = "1.0.0"
@@ -53,6 +54,9 @@ __all__ = [
     "run_standalone",
     "machine",
     "run_workload",
+    "RunOptions",
+    "TelemetryRecorder",
+    "RunTelemetry",
     "get_mix",
     "get_profile",
     "__version__",

@@ -22,6 +22,7 @@ under its baseline policy.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import List, NamedTuple, Optional, Sequence
 
 from repro.cache.cacheset import CacheSet
@@ -89,6 +90,7 @@ class SharedCache:
         "_hit_results",
         "monitors",
         "scheme",
+        "telemetry",
         "intervals_completed",
         "_interval_len",
         "_interval_left",
@@ -141,6 +143,7 @@ class SharedCache:
         ]
         self.monitors: list = []
         self.scheme = None
+        self.telemetry = None
         self.intervals_completed = 0
         self._interval_len = 0
         self._interval_left = 0
@@ -236,6 +239,15 @@ class SharedCache:
         self._interval_len = getattr(scheme, "interval_len", 0) or 0
         self._interval_left = self._interval_len
         self._rewire()
+
+    def set_telemetry(self, recorder) -> None:
+        """Attach a telemetry recorder (fired at each interval boundary).
+
+        Off the hot path entirely: the recorder is consulted only inside
+        :meth:`_end_interval`, so an unattached cache pays nothing and an
+        attached one pays only at allocation-interval granularity.
+        """
+        self.telemetry = recorder
 
     def add_monitor(self, monitor) -> None:
         """Register an access observer with an ``observe(core, set, tag, hit)`` method."""
@@ -351,8 +363,21 @@ class SharedCache:
         )
 
     def _end_interval(self) -> None:
-        """Fire the allocation-policy interval: scheme first, then resets."""
-        self.scheme.end_interval(self)
+        """Fire the allocation-policy interval: scheme first, then resets.
+
+        The telemetry hook sits between the scheme call and the resets:
+        the scheme has just installed its new ``E``/``T``, and the interval
+        counter views (and the system's interval perf snapshots, rolled by
+        the monitors below) are still live.
+        """
+        telemetry = self.telemetry
+        if telemetry is None:
+            self.scheme.end_interval(self)
+        else:
+            start = perf_counter()
+            self.scheme.end_interval(self)
+            telemetry.note_alloc_seconds(perf_counter() - start)
+            telemetry.record_interval(self)
         self.stats.reset_interval()
         for end_interval in self._interval_monitors:
             end_interval()

@@ -18,6 +18,7 @@ from typing import List, Optional
 from repro.experiments.common import format_table
 from repro.experiments.configs import DEFAULT_INSTRUCTIONS, machine
 from repro.experiments.export import export_csv
+from repro.experiments.options import RunOptions
 from repro.experiments.registry import EXPERIMENTS
 from repro.experiments.runner import run_workload
 from repro.experiments.schemes import SCHEMES
@@ -62,6 +63,13 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--instructions", type=int, default=None)
     run_p.add_argument("--seed", type=int, default=0)
     run_p.add_argument("--scale-factor", type=int, default=64, help="cache scaling divisor")
+    run_p.add_argument(
+        "--telemetry-out",
+        default=None,
+        metavar="PATH",
+        help="stream the per-interval telemetry trace to PATH "
+        "(.csv for CSV, anything else for JSON lines)",
+    )
 
     cmp_p = sub.add_parser(
         "compare", help="run one mix under several schemes", parents=[jobs_parent]
@@ -120,6 +128,17 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _run_options(args, progress=None, telemetry=False) -> RunOptions:
+    """The one place CLI flags become a RunOptions."""
+    return RunOptions(
+        instructions=getattr(args, "instructions", None),
+        seed=getattr(args, "seed", 0),
+        jobs=getattr(args, "jobs", None),
+        progress=progress,
+        telemetry=telemetry,
+    )
+
+
 def _resolve(mix: str):
     """Mix argument: a registry name or comma-separated benchmark names."""
     if "," in mix:
@@ -151,9 +170,11 @@ def _print_run(result) -> None:
         f"\nANTT={result.antt:.4f}  fairness={result.fairness:.4f}  "
         f"throughput={result.throughput:.4f}  intervals={result.intervals}"
     )
-    probabilities = result.extra.get("eviction_probabilities")
-    if probabilities:
-        print("eviction probabilities:", [round(p, 3) for p in probabilities])
+    if result.eviction_probabilities:
+        print(
+            "eviction probabilities:",
+            [round(p, 3) for p in result.eviction_probabilities],
+        )
 
 
 def cmd_list(args) -> int:
@@ -183,12 +204,20 @@ def cmd_list(args) -> int:
 def cmd_run(args) -> int:
     mix, cores = _resolve(args.mix)
     config = machine(cores, scale_factor=args.scale_factor)
+    telemetry = False
+    if args.telemetry_out:
+        from repro.telemetry import TelemetryRecorder, open_sink
+
+        telemetry = TelemetryRecorder(sink=open_sink(args.telemetry_out))
+    options = _run_options(args, telemetry=telemetry)
     start = time.time()
-    result = run_workload(
-        mix, config, args.scheme, seed=args.seed, instructions=args.instructions
-    )
+    result = run_workload(mix, config, args.scheme, options=options)
     print(f"machine {config} | scheme {args.scheme} | mix {args.mix}")
     _print_run(result)
+    if args.telemetry_out:
+        timing = result.telemetry.timing
+        print(f"telemetry: {timing.describe()}")
+        print(f"wrote {args.telemetry_out}")
     print(f"({time.time() - start:.1f}s)")
     return 0
 
@@ -218,11 +247,8 @@ def cmd_compare(args) -> int:
 
 def cmd_experiment(args) -> int:
     experiment = EXPERIMENTS[args.id]
-    kwargs = {}
-    if args.instructions:
-        kwargs["instructions"] = args.instructions
     progress = (lambda msg: print(f"  {msg}", flush=True)) if args.verbose else None
-    result = experiment.run(progress=progress, **kwargs)
+    result = experiment.run(options=_run_options(args, progress=progress))
     print(experiment.format(result))
     if args.csv:
         for path in export_csv(result, args.csv):

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable, List, Optional, Sequence
 
 from repro.cache.cache import SharedCache
@@ -103,6 +104,9 @@ class MultiCoreSystem:
         inclusive: enforce an inclusive hierarchy — an LLC eviction
             back-invalidates the victim block in its owner's L1 (only
             meaningful with ``l1_geometry``).
+        telemetry: a :class:`~repro.telemetry.TelemetryRecorder` to bind,
+            giving it per-interval instruction/IPC counters and per-core
+            finish events on top of the cache's interval samples.
 
     The system registers itself as the scheme's performance-counter
     provider when the scheme exposes a ``perf`` attribute (PriSM does).
@@ -119,6 +123,7 @@ class MultiCoreSystem:
         l1_geometry=None,
         l1_hit_latency: float = 2.0,
         inclusive: bool = False,
+        telemetry=None,
     ) -> None:
         if len(profiles) != cache.num_cores:
             raise ValueError(
@@ -150,6 +155,9 @@ class MultiCoreSystem:
         cache.add_monitor(_IntervalListener(self))
         if cache.scheme is not None and hasattr(cache.scheme, "perf"):
             cache.scheme.perf = self
+        self.telemetry = telemetry
+        if telemetry is not None:
+            telemetry.bind(self)
 
     # -- performance-counter provider (interval granularity) ----------------
 
@@ -173,6 +181,10 @@ class MultiCoreSystem:
         if cycles <= 0.0:
             return 0.0
         return (self.cores[core].instructions - self._snap_instructions[core]) / cycles
+
+    def interval_instructions(self, core: int) -> int:
+        """Instructions ``core`` retired in the current interval."""
+        return self.cores[core].instructions - self._snap_instructions[core]
 
     def llc_stall_cpi(self, core: int) -> float:
         """LLC-miss stall CPI of ``core`` over the current interval."""
@@ -200,6 +212,9 @@ class MultiCoreSystem:
             )
         cache = self.cache
         memory = self.memory
+        recorder = self.telemetry
+        run_start = perf_counter()
+        start_accesses = self.total_accesses
         occupancy_at_finish = [0.0] * cache.num_cores
         unfinished = sum(1 for c in self.cores if not c.finished)
         heap = [(core.cycles, core.core_id) for core in self.cores if not core.finished]
@@ -217,6 +232,13 @@ class MultiCoreSystem:
                     occupancy_at_finish[cid] = (
                         cache.occupancy[cid] / cache.geometry.num_blocks
                     )
+                    if recorder is not None:
+                        recorder.record_finish(
+                            cid,
+                            core.finish_instructions,
+                            core.finish_cycles,
+                            occupancy_at_finish[cid],
+                        )
                     unfinished -= 1
                     if unfinished == 0:
                         break
@@ -236,6 +258,13 @@ class MultiCoreSystem:
                 occupancy_at_finish[cid] = (
                     cache.occupancy[cid] / cache.geometry.num_blocks
                 )
+                if recorder is not None:
+                    recorder.record_finish(
+                        cid,
+                        core.finish_instructions,
+                        core.finish_cycles,
+                        occupancy_at_finish[cid],
+                    )
                 unfinished -= 1
                 if unfinished == 0:
                     break
@@ -245,6 +274,10 @@ class MultiCoreSystem:
                     f"exceeded {max_accesses} accesses with {unfinished} cores unfinished"
                 )
 
+        if recorder is not None:
+            recorder.finalize(
+                perf_counter() - run_start, self.total_accesses - start_accesses
+            )
         return self._collect(occupancy_at_finish)
 
     def _collect(self, occupancy_at_finish: List[float]) -> SystemResult:

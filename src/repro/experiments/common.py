@@ -33,6 +33,7 @@ def compare_schemes(
     scheme_kwargs: Optional[Dict[str, dict]] = None,
     progress: Progress = None,
     jobs: Optional[int] = None,
+    telemetry: bool = False,
 ) -> Dict[str, Dict[str, WorkloadResult]]:
     """Run every mix under every scheme.
 
@@ -40,6 +41,8 @@ def compare_schemes(
         jobs: worker processes; ``None`` consults ``REPRO_JOBS`` (see
             :mod:`repro.experiments.parallel`). Above 1, the grid runs on
             a process pool with results bit-identical to the serial loop.
+        telemetry: record per-interval telemetry into every result
+            (parallel runs return identical traces to serial ones).
 
     Returns:
         ``results[mix][scheme] -> WorkloadResult``.
@@ -56,6 +59,7 @@ def compare_schemes(
             scheme_kwargs=scheme_kwargs,
             progress=progress,
             jobs=jobs,
+            telemetry=telemetry,
         )
     scheme_kwargs = scheme_kwargs or {}
     results: Dict[str, Dict[str, WorkloadResult]] = {}
@@ -71,6 +75,7 @@ def compare_schemes(
                 seed=seed,
                 instructions=instructions,
                 scheme_kwargs=scheme_kwargs.get(scheme),
+                telemetry=telemetry,
             )
     return results
 

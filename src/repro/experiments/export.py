@@ -8,8 +8,9 @@ figures with their own tooling:
 
     from repro.experiments import fig07_vantage
     from repro.experiments.export import export_csv
+    from repro.experiments.options import RunOptions
 
-    result = fig07_vantage.run(instructions=200_000)
+    result = fig07_vantage.run(RunOptions(instructions=200_000))
     export_csv(result, "fig7")          # fig7_quad.csv, fig7_sixteen.csv
 """
 

@@ -22,6 +22,7 @@ from repro.experiments.common import (
     resolve_instructions,
 )
 from repro.experiments.configs import machine
+from repro.experiments.options import experiment_run
 from repro.metrics import geomean
 from repro.workloads.mixes import mixes_for_cores
 
@@ -99,6 +100,7 @@ def run_fine_grain(
     return {"id": "fig1b", "rows": rows}
 
 
+@experiment_run
 def run(
     instructions: Optional[int] = None,
     mixes_per_count: Optional[int] = None,

@@ -19,12 +19,14 @@ from repro.experiments.common import (
     resolve_instructions,
 )
 from repro.experiments.configs import machine
+from repro.experiments.options import experiment_run
 from repro.metrics import geomean
 from repro.workloads.mixes import mixes_for_cores
 
 __all__ = ["run", "format_result"]
 
 
+@experiment_run
 def run(
     instructions: Optional[int] = None,
     mixes_per_count: Optional[int] = None,

@@ -13,6 +13,7 @@ from typing import Dict, List, Optional
 
 from repro.experiments.common import Progress, compare_schemes, format_table
 from repro.experiments.configs import machine
+from repro.experiments.options import experiment_run
 from repro.metrics import geomean
 from repro.workloads.mixes import mixes_for_cores
 
@@ -50,6 +51,7 @@ def _panel(
     return {"cores": cores, "rows": rows, "geomean": summary}
 
 
+@experiment_run
 def run(
     instructions: Optional[int] = None,
     quad_mixes: Optional[List[str]] = None,

@@ -13,6 +13,7 @@ from typing import Dict, List, Optional
 
 from repro.experiments.common import Progress, compare_schemes, format_table
 from repro.experiments.configs import machine
+from repro.experiments.options import experiment_run
 from repro.metrics import geomean
 from repro.workloads.mixes import mixes_for_cores
 
@@ -44,7 +45,7 @@ def _panel(
                 "mix": mix,
                 "vantage": results[mix]["vantage"].antt / base,
                 "prism": results[mix]["prism-ucpx"].antt / base,
-                "vantage_forced": results[mix]["vantage"].extra.get("forced_evictions", 0),
+                "vantage_forced": results[mix]["vantage"].forced_evictions or 0,
             }
         )
     return {
@@ -58,6 +59,7 @@ def _panel(
     }
 
 
+@experiment_run
 def run(
     instructions: Optional[int] = None,
     quad_mixes: Optional[List[str]] = None,

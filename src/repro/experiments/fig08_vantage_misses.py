@@ -11,11 +11,13 @@ from typing import Dict, List, Optional
 
 from repro.experiments.common import Progress, compare_schemes, format_table
 from repro.experiments.configs import machine
+from repro.experiments.options import experiment_run
 from repro.workloads.mixes import mixes_for_cores
 
 __all__ = ["run", "format_result"]
 
 
+@experiment_run
 def run(
     instructions: Optional[int] = None,
     mixes: Optional[List[str]] = None,

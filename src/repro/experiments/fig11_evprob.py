@@ -1,8 +1,13 @@
 """Figure 11 — Stability of eviction probabilities under PriSM-H (quad).
 
 Per-benchmark mean and standard deviation of ``E_i`` across all interval
-recomputations. The paper's point: the standard deviation is small — the
-probabilities settle, so the control loop is stable rather than thrashing.
+recomputations, computed from the :mod:`repro.telemetry` interval trace:
+each run records every installed distribution at its interval boundary,
+and :meth:`RunTelemetry.probability_stats` accumulates them with the
+same running-sum formula the scheme uses internally — so the numbers are
+bit-equal to the scheme's own reporting. The paper's point: the standard
+deviation is small — the probabilities settle, so the control loop is
+stable rather than thrashing.
 """
 
 from __future__ import annotations
@@ -11,12 +16,14 @@ from typing import Dict, List, Optional
 
 from repro.experiments.common import Progress, format_table
 from repro.experiments.configs import machine
+from repro.experiments.options import experiment_run
 from repro.experiments.runner import run_workload
 from repro.workloads.mixes import mixes_for_cores
 
 __all__ = ["run", "format_result"]
 
 
+@experiment_run
 def run(
     instructions: Optional[int] = None,
     mixes: Optional[List[str]] = None,
@@ -30,9 +37,13 @@ def run(
     for mix in mix_names:
         if progress:
             progress(f"{mix} / prism-h")
-        result = run_workload(mix, config, "prism-h", seed=seed, instructions=instructions)
-        stats = result.extra["probability_stats"]
-        recompute_counts.append(result.intervals)
+        result = run_workload(
+            mix, config, "prism-h", seed=seed, instructions=instructions,
+            telemetry=True,
+        )
+        trace = result.telemetry
+        stats = trace.probability_stats()
+        recompute_counts.append(trace.num_intervals)
         for core, name in enumerate(result.benchmarks):
             rows.append(
                 {

@@ -11,6 +11,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.common import Progress, format_table
 from repro.experiments.configs import machine
+from repro.experiments.options import experiment_run
 from repro.experiments.runner import run_workload
 from repro.metrics import geomean
 from repro.workloads.mixes import mixes_for_cores
@@ -18,6 +19,7 @@ from repro.workloads.mixes import mixes_for_cores
 __all__ = ["run", "format_result"]
 
 
+@experiment_run
 def run(
     instructions: Optional[int] = None,
     mixes: Optional[List[str]] = None,

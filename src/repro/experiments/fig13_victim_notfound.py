@@ -19,12 +19,14 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.common import Progress, format_table
 from repro.experiments.configs import machine
+from repro.experiments.options import experiment_run
 from repro.experiments.runner import run_workload
 from repro.workloads.mixes import mixes_for_cores
 
 __all__ = ["run", "format_result"]
 
 
+@experiment_run
 def run(
     instructions: Optional[int] = None,
     mixes: Optional[List[str]] = None,
@@ -54,7 +56,7 @@ def run(
                     "bias_correction": False,
                 },
             )
-            row[f"w{mult}"] = result.extra["victim_not_found_rate"]
+            row[f"w{mult}"] = result.victim_not_found_rate
         rows.append(row)
     averages = {
         f"w{mult}": sum(r[f"w{mult}"] for r in rows) / len(rows)

@@ -60,6 +60,10 @@ class RunSpec:
     seed: int = 0
     instructions: Optional[int] = None
     scheme_kwargs: Optional[dict] = None
+    #: Record per-interval telemetry into the result. The samples are
+    #: deterministic dataclasses, so they pickle back from workers and a
+    #: parallel trace stays bit-identical to the serial one.
+    telemetry: bool = False
 
     def describe(self) -> str:
         return f"{self.mix} / {self.scheme} / seed {self.seed}"
@@ -98,6 +102,7 @@ def _run_indexed_spec(item):
         seed=spec.seed,
         instructions=spec.instructions,
         scheme_kwargs=spec.scheme_kwargs,
+        telemetry=spec.telemetry,
     )
     return index, result
 
@@ -147,6 +152,7 @@ def run_specs(
                     seed=spec.seed,
                     instructions=spec.instructions,
                     scheme_kwargs=spec.scheme_kwargs,
+                    telemetry=spec.telemetry,
                 )
             )
         return results
@@ -180,6 +186,7 @@ def parallel_compare_schemes(
     scheme_kwargs: Optional[Dict[str, dict]] = None,
     progress=None,
     jobs: Optional[int] = None,
+    telemetry: bool = False,
 ) -> Dict[str, Dict[str, WorkloadResult]]:
     """The (mixes × schemes) grid behind every figure, executed by the pool.
 
@@ -195,6 +202,7 @@ def parallel_compare_schemes(
             seed=seed,
             instructions=instructions,
             scheme_kwargs=scheme_kwargs.get(scheme),
+            telemetry=telemetry,
         )
         for mix in mixes
         for scheme in schemes

@@ -1,9 +1,12 @@
 """Experiment registry: id -> (run, format) for every paper table/figure.
 
 Used by the bench harness and by ``examples/reproduce_paper.py`` to
-enumerate the full evaluation. Each ``run`` accepts at least
-``instructions=`` and ``progress=`` keyword arguments so callers can trade
-fidelity for time.
+enumerate the full evaluation. Every ``run`` has the uniform signature
+``run(options=None, **figure_kwargs)`` where ``options`` is a
+:class:`~repro.experiments.options.RunOptions` carrying the cross-cutting
+controls (``instructions``, ``seed``, ``progress``, ``jobs``,
+``telemetry``); the pre-RunOptions keyword arguments are still accepted
+for now but emit ``DeprecationWarning``.
 """
 
 from __future__ import annotations

@@ -7,11 +7,20 @@ shared machine under the requested scheme, and reports the paper's
 metrics. Stand-alone runs use the same baseline replacement policy as the
 scheme under test (timestamp LRU for the Vantage comparison, DIP for the
 Section 5.6 study), matching the paper's normalisation.
+
+Scheme diagnostics are reported as typed optional fields on
+:class:`WorkloadResult` (``eviction_probabilities``, ``quotas``, ...);
+the old ``result.extra`` dict survives as a deprecated alias property.
+Pass ``telemetry=True`` (or a pre-built recorder, or ``options=``
+with :class:`~repro.experiments.options.RunOptions`) to attach a
+:class:`~repro.telemetry.TelemetryRecorder` and get the full
+per-interval trace in ``result.telemetry``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.cache.cache import SharedCache
@@ -20,25 +29,81 @@ from repro.cpu.system import CoreResult, MultiCoreSystem, run_standalone
 from repro.experiments.configs import MachineConfig
 from repro.experiments.schemes import build_scheme
 from repro.metrics import antt, fairness, ipc_throughput, weighted_speedup
+from repro.telemetry import RunTelemetry, TelemetryRecorder
 from repro.util.rng import derive_seed
 from repro.workloads.benchmark import BenchmarkProfile
 from repro.workloads.mixes import get_mix
 from repro.workloads.spec import get_profile
 
-__all__ = ["WorkloadResult", "run_workload", "standalone_ipcs", "clear_standalone_cache"]
+__all__ = [
+    "WorkloadResult",
+    "run_workload",
+    "standalone_ipcs",
+    "StandaloneIPCCache",
+    "DEFAULT_STANDALONE_CACHE",
+    "clear_standalone_cache",
+]
 
-#: (profile, geometry, policy-kind, controllers, instructions) -> IPC.
-_STANDALONE_CACHE: Dict[tuple, float] = {}
+
+class StandaloneIPCCache:
+    """Memo for the ``IPC^SP`` stand-alone runs.
+
+    Keys are ``(profile, geometry, policy-kind, controllers, instructions,
+    scale)`` — everything a stand-alone run's IPC depends on — so one cache
+    instance can safely serve any number of shared runs. The module-level
+    :data:`DEFAULT_STANDALONE_CACHE` is used unless a caller (or a
+    :class:`~repro.experiments.options.RunOptions`) supplies its own,
+    which is how tests isolate themselves without reaching into module
+    globals.
+    """
+
+    def __init__(self) -> None:
+        self._ipcs: Dict[tuple, float] = {}
+
+    def get(self, key: tuple) -> Optional[float]:
+        return self._ipcs.get(key)
+
+    def store(self, key: tuple, ipc: float) -> None:
+        self._ipcs[key] = ipc
+
+    def clear(self) -> None:
+        self._ipcs.clear()
+
+    def keys(self) -> List[tuple]:
+        return list(self._ipcs)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._ipcs
+
+    def __len__(self) -> int:
+        return len(self._ipcs)
+
+
+#: Process-wide default memo (fork-started pool workers inherit it warm).
+DEFAULT_STANDALONE_CACHE = StandaloneIPCCache()
 
 
 def clear_standalone_cache() -> None:
-    """Drop memoised stand-alone IPCs (tests use this for isolation)."""
-    _STANDALONE_CACHE.clear()
+    """Deprecated: call ``DEFAULT_STANDALONE_CACHE.clear()`` instead."""
+    warnings.warn(
+        "clear_standalone_cache() is deprecated; use "
+        "DEFAULT_STANDALONE_CACHE.clear() or pass your own StandaloneIPCCache",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    DEFAULT_STANDALONE_CACHE.clear()
 
 
 @dataclass
 class WorkloadResult:
-    """Everything a figure reproduction needs from one shared run."""
+    """Everything a figure reproduction needs from one shared run.
+
+    The scheme-diagnostic fields after ``intervals`` are optional: each is
+    ``None`` unless the scheme under test exposes it (PriSM reports
+    probabilities, way-partitioners report quotas, Vantage reports forced
+    evictions/demotions). ``telemetry`` is populated only when the run was
+    made with ``telemetry=`` enabled.
+    """
 
     mix: str
     scheme: str
@@ -50,7 +115,14 @@ class WorkloadResult:
     throughput: float
     weighted_speedup: float
     intervals: int
-    extra: dict = field(default_factory=dict)
+    victim_not_found_rate: Optional[float] = None
+    probability_stats: Optional[List[dict]] = None
+    eviction_probabilities: Optional[List[float]] = None
+    forced_evictions: Optional[int] = None
+    demotions: Optional[int] = None
+    quotas: Optional[List[int]] = None
+    targets: Optional[List[float]] = None
+    telemetry: Optional[RunTelemetry] = None
 
     def shared_ipcs(self) -> List[float]:
         return [c.ipc for c in self.cores]
@@ -61,6 +133,32 @@ class WorkloadResult:
     def slowdown(self, core: int) -> float:
         """``IPC^MP / IPC^SP`` of one core (1 = no slowdown)."""
         return self.cores[core].ipc / self.standalone[core]
+
+    @property
+    def extra(self) -> dict:
+        """Deprecated: the pre-typed diagnostics dict.
+
+        Use the typed fields (``eviction_probabilities``, ``quotas``, ...)
+        directly.
+        """
+        warnings.warn(
+            "WorkloadResult.extra is deprecated; read the typed fields "
+            "(victim_not_found_rate, probability_stats, "
+            "eviction_probabilities, forced_evictions, demotions, quotas, "
+            "targets) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        keys = (
+            "victim_not_found_rate",
+            "probability_stats",
+            "eviction_probabilities",
+            "forced_evictions",
+            "demotions",
+            "quotas",
+            "targets",
+        )
+        return {k: getattr(self, k) for k in keys if getattr(self, k) is not None}
 
 
 def _resolve_mix(mix: Union[str, Sequence]) -> tuple:
@@ -84,14 +182,18 @@ def standalone_ipcs(
     config: MachineConfig,
     scheme: str = "lru",
     instructions: Optional[int] = None,
+    cache: Optional[StandaloneIPCCache] = None,
 ) -> List[float]:
     """Per-program ``IPC^SP`` on the full cache (memoised).
 
     The stand-alone machine uses the full LLC of ``config``, its memory
     controllers, and the baseline policy the ``scheme`` registry entry
-    pairs with the scheme under test.
+    pairs with the scheme under test. Results memoise into ``cache``
+    (default: :data:`DEFAULT_STANDALONE_CACHE`).
     """
     instructions = instructions or config.instructions
+    if cache is None:
+        cache = DEFAULT_STANDALONE_CACHE
     results = []
     for profile in profiles:
         # A fresh policy instance per run (policies are stateful).
@@ -104,7 +206,8 @@ def standalone_ipcs(
             instructions,
             config.workload_scale,
         )
-        if key not in _STANDALONE_CACHE:
+        ipc = cache.get(key)
+        if ipc is None:
             core = run_standalone(
                 profile,
                 config.geometry,
@@ -114,30 +217,31 @@ def standalone_ipcs(
                 seed=derive_seed(777, "standalone", profile.name),
                 scale=config.workload_scale,
             )
-            _STANDALONE_CACHE[key] = core.ipc
-        results.append(_STANDALONE_CACHE[key])
+            ipc = core.ipc
+            cache.store(key, ipc)
+        results.append(ipc)
     return results
 
 
-def _collect_extras(scheme_obj) -> dict:
-    """Pull scheme-specific diagnostics for the analysis figures."""
-    extra = {}
+def _scheme_diagnostics(scheme_obj) -> dict:
+    """Scheme-specific diagnostics as typed WorkloadResult field values."""
+    fields = {}
     if scheme_obj is None:
-        return extra
+        return fields
     if hasattr(scheme_obj, "victim_not_found_rate"):
-        extra["victim_not_found_rate"] = scheme_obj.victim_not_found_rate()
+        fields["victim_not_found_rate"] = scheme_obj.victim_not_found_rate()
     if hasattr(scheme_obj, "probability_stats"):
-        extra["probability_stats"] = scheme_obj.probability_stats()
+        fields["probability_stats"] = scheme_obj.probability_stats()
     if hasattr(scheme_obj, "eviction_probabilities"):
-        extra["eviction_probabilities"] = list(scheme_obj.eviction_probabilities)
+        fields["eviction_probabilities"] = list(scheme_obj.eviction_probabilities)
     if hasattr(scheme_obj, "forced_evictions"):
-        extra["forced_evictions"] = scheme_obj.forced_evictions
-        extra["demotions"] = scheme_obj.demotions
+        fields["forced_evictions"] = scheme_obj.forced_evictions
+        fields["demotions"] = scheme_obj.demotions
     if hasattr(scheme_obj, "quotas"):
-        extra["quotas"] = list(scheme_obj.quotas)
+        fields["quotas"] = list(scheme_obj.quotas)
     if hasattr(scheme_obj, "targets"):
-        extra["targets"] = list(scheme_obj.targets)
-    return extra
+        fields["targets"] = list(scheme_obj.targets)
+    return fields
 
 
 def run_workload(
@@ -147,6 +251,9 @@ def run_workload(
     seed: int = 0,
     instructions: Optional[int] = None,
     scheme_kwargs: Optional[dict] = None,
+    telemetry: Union[bool, TelemetryRecorder] = False,
+    standalone_cache: Optional[StandaloneIPCCache] = None,
+    options=None,
 ) -> WorkloadResult:
     """Run one mix under one scheme and report the paper's metrics.
 
@@ -159,7 +266,25 @@ def run_workload(
         instructions: per-core target override.
         scheme_kwargs: forwarded to the scheme factory (e.g.
             ``{"probability_bits": 6}`` or ``{"target_ipc_fraction": 0.8}``).
+        telemetry: ``True`` to record a per-interval trace into
+            ``result.telemetry``, or a pre-built
+            :class:`~repro.telemetry.TelemetryRecorder` (e.g. one carrying
+            a streaming sink).
+        standalone_cache: where to memoise the ``IPC^SP`` runs (default:
+            the process-wide :data:`DEFAULT_STANDALONE_CACHE`).
+        options: a :class:`~repro.experiments.options.RunOptions`; supplies
+            ``seed``/``instructions``/``telemetry``/``standalone_cache``
+            for any of those arguments left at its default above.
     """
+    if options is not None:
+        if seed == 0:
+            seed = options.seed
+        if instructions is None:
+            instructions = options.instructions
+        if telemetry is False:
+            telemetry = options.telemetry
+        if standalone_cache is None:
+            standalone_cache = options.standalone_cache
     label, profiles = _resolve_mix(mix)
     if len(profiles) != config.num_cores:
         raise ValueError(
@@ -167,7 +292,10 @@ def run_workload(
             f"{config.num_cores} cores"
         )
     instructions = instructions or config.instructions
-    sp_ipcs = standalone_ipcs(profiles, config, scheme=scheme, instructions=instructions)
+    sp_ipcs = standalone_ipcs(
+        profiles, config, scheme=scheme, instructions=instructions,
+        cache=standalone_cache,
+    )
 
     scheme_obj, policy = build_scheme(
         scheme, config.num_cores, sp_ipcs, **(scheme_kwargs or {})
@@ -175,12 +303,18 @@ def run_workload(
     cache = SharedCache(config.geometry, config.num_cores, policy=policy)
     if scheme_obj is not None:
         cache.set_scheme(scheme_obj)
+    recorder: Optional[TelemetryRecorder] = None
+    if telemetry:
+        recorder = (
+            telemetry if isinstance(telemetry, TelemetryRecorder) else TelemetryRecorder()
+        )
     system = MultiCoreSystem(
         cache,
         profiles,
         seed=derive_seed(seed, "shared", label, scheme),
         scale=config.workload_scale,
         memory=MemoryModel(num_controllers=config.num_controllers),
+        telemetry=recorder,
     )
     result = system.run(instructions)
 
@@ -196,5 +330,6 @@ def run_workload(
         throughput=ipc_throughput(mp_ipcs),
         weighted_speedup=weighted_speedup(sp_ipcs, mp_ipcs),
         intervals=result.intervals,
-        extra=_collect_extras(scheme_obj),
+        telemetry=recorder.result() if recorder is not None else None,
+        **_scheme_diagnostics(scheme_obj),
     )

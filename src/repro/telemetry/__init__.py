@@ -1,0 +1,43 @@
+"""Interval telemetry: typed per-interval samples from the shared cache.
+
+The one observability layer for everything PriSM computes per allocation
+interval — occupancies ``C_i``, miss fractions ``M_i``, eviction
+probabilities ``E_i`` (Eq. 1), targets ``T_i`` — plus per-core finish
+events and run-level profiling. Figures 4 and 11 are built on it, and
+``repro-sim run --telemetry-out trace.jsonl`` dumps it from the CLI.
+
+Quick start::
+
+    from repro.experiments.configs import machine
+    from repro.experiments.runner import run_workload
+
+    result = run_workload("Q7", machine(4), "prism-h", telemetry=True)
+    trace = result.telemetry          # a RunTelemetry
+    trace.series("occupancy", core=0) # C_0 per interval
+    trace.write("trace.jsonl")
+
+See ``docs/telemetry.md`` for the full worked example.
+"""
+
+from repro.telemetry.recorder import TelemetryRecorder
+from repro.telemetry.samples import (
+    TRACE_FIELDS,
+    FinishSample,
+    IntervalSample,
+    RunTelemetry,
+    RunTiming,
+)
+from repro.telemetry.sinks import CSVSink, JSONLSink, MemorySink, open_sink
+
+__all__ = [
+    "TelemetryRecorder",
+    "IntervalSample",
+    "FinishSample",
+    "RunTelemetry",
+    "RunTiming",
+    "TRACE_FIELDS",
+    "MemorySink",
+    "JSONLSink",
+    "CSVSink",
+    "open_sink",
+]

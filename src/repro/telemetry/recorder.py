@@ -1,0 +1,180 @@
+"""The interval-boundary telemetry recorder.
+
+:class:`TelemetryRecorder` is the hook :class:`~repro.cache.cache.SharedCache`
+fires at every allocation-interval boundary — after the scheme has
+reallocated (so the freshly installed ``E_i``/``T_i`` are readable) and
+before the interval counters reset (so the interval views are still
+live). It never touches the per-access hot path: intervals are rare
+(every ``W`` misses), so recording costs nothing measurable.
+
+Wiring is one call either way:
+
+- ``TelemetryRecorder().bind(system)`` — full system: interval samples
+  gain instructions/IPC from the timing model, and per-core finish
+  events are recorded as they happen;
+- ``TelemetryRecorder().bind_cache(cache)`` — bare cache (unit tests,
+  custom drivers): instruction/IPC fields read as zero.
+
+Pass ``sink=`` to stream rows as they are recorded; the in-memory
+:class:`~repro.telemetry.samples.RunTelemetry` is always built and
+returned by :meth:`result`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.telemetry.samples import FinishSample, IntervalSample, RunTelemetry
+
+__all__ = ["TelemetryRecorder"]
+
+
+class TelemetryRecorder:
+    """Records one :class:`RunTelemetry` for one simulation run.
+
+    Args:
+        sink: optional streaming sink (``MemorySink``/``JSONLSink``/
+            ``CSVSink`` or anything with ``write_row(dict)``/``close()``).
+            Interval rows stream at each boundary; finish rows are
+            flushed — and the sink closed — by :meth:`finalize`.
+    """
+
+    def __init__(self, sink=None) -> None:
+        self._sink = sink
+        self._system = None
+        self._cache = None
+        self._benchmarks: List[str] = []
+        self._telemetry: Optional[RunTelemetry] = None
+
+    # -- wiring ------------------------------------------------------------
+
+    def bind(self, system) -> "TelemetryRecorder":
+        """Attach to a ``MultiCoreSystem`` (cache hook + timing counters)."""
+        self._system = system
+        self.bind_cache(system.cache, benchmarks=[p.name for p in system.profiles])
+        return self
+
+    def bind_cache(self, cache, benchmarks: Optional[Sequence[str]] = None) -> "TelemetryRecorder":
+        """Attach to a bare ``SharedCache`` (no timing model)."""
+        self._cache = cache
+        if benchmarks is None:
+            benchmarks = [f"core{i}" for i in range(cache.num_cores)]
+        self._benchmarks = list(benchmarks)
+        self._telemetry = RunTelemetry(
+            num_cores=cache.num_cores, benchmarks=list(self._benchmarks)
+        )
+        cache.set_telemetry(self)
+        return self
+
+    # -- recording (called by the cache / system) ---------------------------
+
+    def record_interval(self, cache) -> None:
+        """Capture one :class:`IntervalSample` per core.
+
+        Called by ``SharedCache._end_interval`` with the scheme already
+        reallocated and the interval counters not yet reset.
+        """
+        telemetry = self._telemetry
+        interval = cache.intervals_completed  # not yet incremented: 0-based
+        stats = cache.stats
+        num_blocks = cache.geometry.num_blocks
+        occupancy = cache.occupancy
+        miss_fractions = stats.interval_miss_fractions()
+        hits = stats.interval_hits
+        misses = stats.interval_misses
+        evictions = stats.interval_evictions
+        probabilities = self._eviction_probabilities(cache)
+        targets = self._targets(cache)
+        system = self._system
+        sink = self._sink
+        for core in range(cache.num_cores):
+            if system is not None:
+                instructions = system.interval_instructions(core)
+                ipc = system.ipc(core)
+            else:
+                instructions = 0
+                ipc = 0.0
+            sample = IntervalSample(
+                interval=interval,
+                core=core,
+                benchmark=self._benchmarks[core],
+                occupancy=occupancy[core] / num_blocks,
+                miss_fraction=miss_fractions[core],
+                eviction_probability=(
+                    probabilities[core] if probabilities is not None else None
+                ),
+                target=targets[core] if targets is not None else None,
+                hits=hits[core],
+                misses=misses[core],
+                evictions=evictions[core],
+                instructions=instructions,
+                ipc=ipc,
+            )
+            telemetry.samples.append(sample)
+            if sink is not None:
+                sink.write_row(sample.to_row())
+
+    def record_finish(
+        self, core: int, instructions: int, cycles: float, occupancy: float
+    ) -> None:
+        """Capture a core crossing its instruction target (the Fig. 4 moment)."""
+        self._telemetry.finishes.append(
+            FinishSample(
+                core=core,
+                benchmark=self._benchmarks[core],
+                instructions=instructions,
+                cycles=cycles,
+                occupancy=occupancy,
+            )
+        )
+
+    def note_alloc_seconds(self, seconds: float) -> None:
+        """Accumulate wall-clock time spent inside ``scheme.end_interval``."""
+        self._telemetry.timing.alloc_seconds += seconds
+
+    def finalize(self, wall_seconds: float, accesses: int) -> RunTelemetry:
+        """Close out the run: timing totals, flush finish rows, close sink."""
+        timing = self._telemetry.timing
+        timing.wall_seconds += wall_seconds
+        timing.accesses += accesses
+        if self._sink is not None:
+            for sample in self._telemetry.finishes:
+                self._sink.write_row(sample.to_row())
+            self._sink.close()
+        return self._telemetry
+
+    def result(self) -> RunTelemetry:
+        """The telemetry recorded so far."""
+        if self._telemetry is None:
+            raise RuntimeError("recorder is not bound to a cache or system")
+        return self._telemetry
+
+    # -- scheme introspection -----------------------------------------------
+
+    @staticmethod
+    def _eviction_probabilities(cache) -> Optional[Sequence[float]]:
+        """The freshly installed ``E`` distribution, or None for schemes
+        without a probabilistic manager (UCP, Vantage, unmanaged...)."""
+        manager = getattr(cache.scheme, "manager", None)
+        return getattr(manager, "probabilities", None)
+
+    @staticmethod
+    def _targets(cache) -> Optional[List[float]]:
+        """Per-core occupancy targets ``T_i`` as cache fractions.
+
+        Schemes express targets either as fractions (PriSM: sums to 1) or
+        block counts (Vantage); way-partitioners only have way quotas.
+        All are normalised to fractions of cache capacity.
+        """
+        scheme = cache.scheme
+        targets = getattr(scheme, "targets", None)
+        if targets:
+            if max(targets) > 1.0:  # block counts, not fractions
+                num_blocks = cache.geometry.num_blocks
+                return [t / num_blocks for t in targets]
+            return list(targets)
+        quotas = getattr(scheme, "quotas", None)
+        if quotas:
+            assoc = cache.geometry.assoc
+            return [q / assoc for q in quotas]
+        return None

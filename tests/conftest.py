@@ -5,7 +5,7 @@ import pytest
 from repro.cache.cache import SharedCache
 from repro.cache.geometry import CacheGeometry
 from repro.cache.replacement.lru import LRUPolicy
-from repro.experiments.runner import clear_standalone_cache
+from repro.experiments.runner import DEFAULT_STANDALONE_CACHE
 from repro.workloads.benchmark import BenchmarkProfile
 from repro.workloads.zones import ScanZone, UniformZone
 
@@ -13,9 +13,9 @@ from repro.workloads.zones import ScanZone, UniformZone
 @pytest.fixture(autouse=True)
 def _fresh_standalone_cache():
     """Isolate tests from the runner's cross-test IPC memoisation."""
-    clear_standalone_cache()
+    DEFAULT_STANDALONE_CACHE.clear()
     yield
-    clear_standalone_cache()
+    DEFAULT_STANDALONE_CACHE.clear()
 
 
 @pytest.fixture

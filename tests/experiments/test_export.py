@@ -43,9 +43,11 @@ class TestWrite:
 
     def test_export_csv_end_to_end(self, tmp_path):
         from repro.experiments import fig13_victim_notfound
+        from repro.experiments.options import RunOptions
 
         result = fig13_victim_notfound.run(
-            instructions=15_000, mixes=["Q1"], interval_multipliers=(1.0,)
+            options=RunOptions(instructions=15_000),
+            mixes=["Q1"], interval_multipliers=(1.0,),
         )
         paths = export_csv(result, tmp_path / "fig13")
         assert len(paths) == 1

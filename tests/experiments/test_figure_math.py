@@ -23,6 +23,20 @@ from repro.experiments import (
 )
 from repro.experiments.runner import WorkloadResult
 from repro.metrics import geomean
+from repro.telemetry import FinishSample, IntervalSample, RunTelemetry
+
+
+def fake_telemetry(benchmarks, occupancy):
+    """A RunTelemetry holding only finish samples (what fig4 reads)."""
+    trace = RunTelemetry(num_cores=len(benchmarks), benchmarks=list(benchmarks))
+    for core, name in enumerate(benchmarks):
+        trace.finishes.append(
+            FinishSample(
+                core=core, benchmark=name, instructions=1000, cycles=1000.0,
+                occupancy=occupancy,
+            )
+        )
+    return trace
 
 
 def fake_result(mix, scheme, antt, benchmarks=None, slowdown0=0.8, misses=100):
@@ -52,7 +66,7 @@ def fake_result(mix, scheme, antt, benchmarks=None, slowdown0=0.8, misses=100):
         throughput=2.0,
         weighted_speedup=2.0,
         intervals=10,
-        extra={},
+        telemetry=fake_telemetry(benchmarks, 1.0 / len(benchmarks)),
     )
 
 
@@ -168,10 +182,23 @@ class TestFig11Math:
     def test_stats_flattened_per_benchmark(self, monkeypatch):
         def fake_run(mix, config, scheme, **kwargs):
             r = fake_result(mix, scheme, 1.0)
-            r.extra["probability_stats"] = [
-                {"mean": 0.1 * (i + 1), "std": 0.01, "samples": 40} for i in range(4)
-            ]
-            return WorkloadResult(**{**r.__dict__, "intervals": 40})
+            # 40 intervals with constant E_i = 0.1*(core+1): the figure's
+            # probability_stats() must report exactly that mean per core.
+            trace = RunTelemetry(num_cores=4, benchmarks=r.benchmarks)
+            for interval in range(40):
+                for core, name in enumerate(r.benchmarks):
+                    trace.samples.append(
+                        IntervalSample(
+                            interval=interval, core=core, benchmark=name,
+                            occupancy=0.25, miss_fraction=0.25,
+                            eviction_probability=0.1 * (core + 1), target=0.25,
+                            hits=0, misses=0, evictions=0, instructions=0,
+                            ipc=0.0,
+                        )
+                    )
+            return WorkloadResult(
+                **{**r.__dict__, "intervals": 40, "telemetry": trace}
+            )
 
         monkeypatch.setattr(fig11_evprob, "run_workload", fake_run)
         result = fig11_evprob.run(mixes=["Q1", "Q2"])
@@ -235,7 +262,7 @@ class TestFig13Math:
             interval = kwargs["scheme_kwargs"]["interval_len"]
             # Not-found rate inversely related to interval in this fake.
             r = fake_result(mix, scheme, 1.0)
-            r.extra["victim_not_found_rate"] = 100.0 / interval
+            r.victim_not_found_rate = 100.0 / interval
             return r
 
         monkeypatch.setattr(fig13_victim_notfound, "run_workload", fake_run)

@@ -21,7 +21,7 @@ from repro.experiments.parallel import (
     resolve_jobs,
     run_specs,
 )
-from repro.experiments.runner import clear_standalone_cache, run_workload
+from repro.experiments.runner import DEFAULT_STANDALONE_CACHE, run_workload
 
 CONFIG = machine(4, instructions=3_000)
 INSTR = 3_000
@@ -31,9 +31,9 @@ INSTR = 3_000
 def _fresh_caches(monkeypatch):
     """Isolate the memoised stand-alone IPCs and the jobs environment."""
     monkeypatch.delenv(JOBS_ENV, raising=False)
-    clear_standalone_cache()
+    DEFAULT_STANDALONE_CACHE.clear()
     yield
-    clear_standalone_cache()
+    DEFAULT_STANDALONE_CACHE.clear()
 
 
 class TestResolveJobs:
@@ -101,7 +101,7 @@ class TestParallelIdenticalToSerial:
         serial = compare_schemes(
             self.MIXES, CONFIG, self.SCHEMES, instructions=INSTR, jobs=1
         )
-        clear_standalone_cache()
+        DEFAULT_STANDALONE_CACHE.clear()
         parallel = compare_schemes(
             self.MIXES, CONFIG, self.SCHEMES, instructions=INSTR, jobs=2
         )
@@ -114,7 +114,7 @@ class TestParallelIdenticalToSerial:
 
     def test_compare_schemes_env_opt_in(self, monkeypatch):
         serial = compare_schemes(["Q1"], CONFIG, ["lru"], instructions=INSTR)
-        clear_standalone_cache()
+        DEFAULT_STANDALONE_CACHE.clear()
         monkeypatch.setenv(JOBS_ENV, "2")
         parallel = compare_schemes(["Q1"], CONFIG, ["lru"], instructions=INSTR)
         assert serial["Q1"]["lru"] == parallel["Q1"]["lru"]
@@ -126,9 +126,28 @@ class TestParallelIdenticalToSerial:
         assert list(results) == ["Q1"]
         assert list(results["Q1"]) == ["lru", "dip"]
 
+    def test_telemetry_traces_bit_identical(self, tmp_path):
+        """A --jobs trace must be byte-identical to the serial trace."""
+        specs = [
+            RunSpec(mix=mix, scheme=scheme, instructions=INSTR, telemetry=True)
+            for mix in self.MIXES
+            for scheme in self.SCHEMES
+        ]
+        serial = run_specs(specs, CONFIG, jobs=1)
+        DEFAULT_STANDALONE_CACHE.clear()
+        parallel = run_specs(specs, CONFIG, jobs=2)
+        for i, (a, b) in enumerate(zip(serial, parallel)):
+            # RunTelemetry equality covers every sample; timing is excluded.
+            assert a.telemetry == b.telemetry, specs[i]
+        serial_path = tmp_path / "serial.jsonl"
+        parallel_path = tmp_path / "parallel.jsonl"
+        serial[0].telemetry.write(serial_path)
+        parallel[0].telemetry.write(parallel_path)
+        assert serial_path.read_bytes() == parallel_path.read_bytes()
+
     def test_run_seeds_bit_identical(self):
         serial = run_seeds("Q1", CONFIG, "prism-h", seeds=(0, 1), instructions=INSTR)
-        clear_standalone_cache()
+        DEFAULT_STANDALONE_CACHE.clear()
         parallel = run_seeds(
             "Q1", CONFIG, "prism-h", seeds=(0, 1), instructions=INSTR, jobs=2
         )

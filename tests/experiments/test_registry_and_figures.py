@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.experiments.options import RunOptions
 from repro.experiments.registry import EXPERIMENTS, get_experiment
 
 #: Micro budgets: one or two mixes, tiny instruction windows. These verify
@@ -48,7 +49,9 @@ def test_experiment_smoke(experiment_id):
     """Every experiment runs at micro scale and formats to a non-trivial
     paper-style table."""
     experiment = EXPERIMENTS[experiment_id]
-    result = experiment.run(**MICRO[experiment_id])
+    kwargs = dict(MICRO[experiment_id])
+    options = RunOptions(instructions=kwargs.pop("instructions"))
+    result = experiment.run(options=options, **kwargs)
     assert result["id"].startswith(experiment_id[:4]) or result["id"] == experiment_id
     text = experiment.format(result)
     assert len(text.splitlines()) >= 3

@@ -1,10 +1,14 @@
 """Tests for the workload runner."""
 
+import warnings
+
 import pytest
 
 from repro.experiments.configs import machine
+from repro.experiments.options import RunOptions
 from repro.experiments.runner import (
-    _STANDALONE_CACHE,
+    DEFAULT_STANDALONE_CACHE,
+    StandaloneIPCCache,
     clear_standalone_cache,
     run_workload,
     standalone_ipcs,
@@ -52,20 +56,28 @@ class TestRunWorkload:
                 result.cores[core].ipc / result.standalone[core]
             )
 
-    def test_prism_extras_collected(self):
+    def test_prism_diagnostics_typed(self):
         result = run_workload("Q1", CFG, "prism-h")
-        assert "eviction_probabilities" in result.extra
-        assert "victim_not_found_rate" in result.extra
-        assert "probability_stats" in result.extra
-        assert "targets" in result.extra
+        assert result.eviction_probabilities is not None
+        assert sum(result.eviction_probabilities) == pytest.approx(1.0)
+        assert result.victim_not_found_rate is not None
+        assert result.probability_stats is not None
+        assert result.targets is not None
 
-    def test_ucp_extras_collected(self):
+    def test_lru_diagnostics_absent(self):
+        result = run_workload("Q1", CFG, "lru")
+        assert result.eviction_probabilities is None
+        assert result.victim_not_found_rate is None
+        assert result.quotas is None
+        assert result.telemetry is None
+
+    def test_ucp_quotas_typed(self):
         result = run_workload("Q1", CFG, "ucp")
-        assert sum(result.extra["quotas"]) == CFG.geometry.assoc
+        assert sum(result.quotas) == CFG.geometry.assoc
 
     def test_deterministic(self):
         a = run_workload("Q1", CFG, "prism-h", seed=3)
-        clear_standalone_cache()
+        DEFAULT_STANDALONE_CACHE.clear()
         b = run_workload("Q1", CFG, "prism-h", seed=3)
         assert a.shared_ipcs() == b.shared_ipcs()
 
@@ -75,15 +87,49 @@ class TestRunWorkload:
         )
         assert result.intervals > run_workload("Q1", CFG, "prism-h").intervals
 
+    def test_options_supply_defaults(self):
+        options = RunOptions(seed=3, instructions=40_000)
+        a = run_workload("Q1", CFG, "prism-h", options=options)
+        b = run_workload("Q1", CFG, "prism-h", seed=3, instructions=40_000)
+        assert a == b
+
+    def test_explicit_kwargs_beat_options(self):
+        options = RunOptions(seed=5)
+        a = run_workload("Q1", CFG, "prism-h", seed=3, options=options)
+        b = run_workload("Q1", CFG, "prism-h", seed=3)
+        assert a == b
+
+    def test_options_telemetry(self):
+        result = run_workload(
+            "Q1", CFG, "prism-h", options=RunOptions(telemetry=True)
+        )
+        assert result.telemetry is not None
+        assert result.telemetry.num_cores == 4
+
+
+class TestExtraDeprecatedAlias:
+    def test_extra_warns(self):
+        result = run_workload("Q1", CFG, "prism-h")
+        with pytest.warns(DeprecationWarning, match="typed fields"):
+            extra = result.extra
+        assert extra["eviction_probabilities"] == result.eviction_probabilities
+        assert extra["victim_not_found_rate"] == result.victim_not_found_rate
+
+    def test_extra_omits_absent_diagnostics(self):
+        result = run_workload("Q1", CFG, "lru")
+        with pytest.warns(DeprecationWarning):
+            extra = result.extra
+        assert extra == {}
+
 
 class TestStandaloneCache:
     def test_memoisation(self):
         profiles = [get_profile("179.art")]
         cfg = machine(4, instructions=30_000)
         standalone_ipcs(profiles, cfg)
-        size = len(_STANDALONE_CACHE)
+        size = len(DEFAULT_STANDALONE_CACHE)
         standalone_ipcs(profiles, cfg)
-        assert len(_STANDALONE_CACHE) == size
+        assert len(DEFAULT_STANDALONE_CACHE) == size
 
     def test_policy_kind_keys_separately(self):
         profiles = [get_profile("179.art")]
@@ -91,7 +137,7 @@ class TestStandaloneCache:
         lru_ipc = standalone_ipcs(profiles, cfg, scheme="lru")[0]
         ts_ipc = standalone_ipcs(profiles, cfg, scheme="tslru")[0]
         # Keys must not collide: both present in the cache.
-        kinds = {key[2] for key in _STANDALONE_CACHE}
+        kinds = {key[2] for key in DEFAULT_STANDALONE_CACHE.keys()}
         assert {"LRUPolicy", "TimestampLRUPolicy"} <= kinds
         assert lru_ipc > 0 and ts_ipc > 0
 
@@ -100,3 +146,30 @@ class TestStandaloneCache:
         cfg = machine(4, instructions=30_000)
         ipcs = standalone_ipcs(profiles, cfg)
         assert ipcs[0] == ipcs[1] == ipcs[2]
+
+    def test_private_cache_instance(self):
+        profiles = [get_profile("179.art")]
+        cfg = machine(4, instructions=30_000)
+        private = StandaloneIPCCache()
+        ipcs = standalone_ipcs(profiles, cfg, cache=private)
+        assert len(private) == 1
+        assert len(DEFAULT_STANDALONE_CACHE) == 0  # default untouched
+        assert ipcs == standalone_ipcs(profiles, cfg, cache=private)
+
+    def test_options_carry_private_cache(self):
+        private = StandaloneIPCCache()
+        run_workload(
+            "Q1", CFG, "lru", options=RunOptions(standalone_cache=private)
+        )
+        assert len(private) == 4
+        assert len(DEFAULT_STANDALONE_CACHE) == 0
+
+    def test_clear_shim_warns_and_clears(self):
+        DEFAULT_STANDALONE_CACHE.store(("sentinel",), 1.0)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            with pytest.raises(DeprecationWarning):
+                clear_standalone_cache()
+        with pytest.warns(DeprecationWarning):
+            clear_standalone_cache()
+        assert len(DEFAULT_STANDALONE_CACHE) == 0

@@ -48,6 +48,20 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "179.art" in out
 
+    def test_run_telemetry_out(self, capsys, tmp_path):
+        import json
+
+        trace_path = tmp_path / "trace.jsonl"
+        assert main(["run", "--mix", "Q1", "--instructions", "60000",
+                     "--telemetry-out", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry:" in out
+        assert "in allocation policy" in out
+        rows = [json.loads(line) for line in trace_path.read_text().splitlines()]
+        kinds = {row["record"] for row in rows}
+        assert kinds == {"interval", "finish"}
+        assert sum(1 for r in rows if r["record"] == "finish") == 4
+
     def test_compare(self, capsys):
         assert main(["compare", "lru", "prism-h", "--mix", "Q1",
                      "--instructions", "20000"]) == 0

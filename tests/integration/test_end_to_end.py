@@ -46,7 +46,7 @@ class TestHitMaximisation:
 
     def test_streamer_gets_high_eviction_probability(self, q7_runs):
         prism = q7_runs["prism-h"]
-        probs = prism.extra["eviction_probabilities"]
+        probs = prism.eviction_probabilities
         lbm = prism.benchmarks.index("470.lbm")
         art = prism.benchmarks.index("179.art")
         assert probs[lbm] > probs[art]

@@ -67,7 +67,7 @@ class TestSection51Narratives:
         from repro.workloads.spec import get_profile
 
         prism = runs[("Q7", "prism-h")]
-        probs = prism.extra["eviction_probabilities"]
+        probs = prism.eviction_probabilities
         by_cat = {}
         for i, name in enumerate(prism.benchmarks):
             by_cat.setdefault(get_profile(name).category, []).append(probs[i])
