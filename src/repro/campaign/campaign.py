@@ -1,0 +1,371 @@
+"""Campaign: a named grid of specs bound to a store, resumable end to end.
+
+A campaign is (machine config, spec list, retry/timeout policy) saved as a
+``campaign.json`` manifest inside its store directory, so *the store alone*
+is enough to resume: ``Campaign.load(path).run()`` after an interruption —
+graceful or SIGKILL — executes exactly the specs that never completed and
+nothing else.
+
+Typical flow::
+
+    from repro.campaign import Campaign
+    from repro.experiments.configs import machine
+
+    camp = Campaign.grid(
+        "sweeps/prism-vs-lru",
+        machine(4, instructions=200_000),
+        mixes=["Q1", "Q7", "Q12"],
+        schemes=["lru", "prism-h"],
+        seeds=range(5),
+    )
+    run = camp.run(jobs=0)          # all cores; skips anything cached
+    print(run.describe())           # "executed 30, skipped 0 (cached)"
+    camp.export_csv("sweep.csv")
+
+The CLI mirrors this as ``repro-sim campaign run/status/resume/export``.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.cache.geometry import CacheGeometry
+from repro.campaign.runner import CampaignRun, CampaignRunner, Progress, cache_hit
+from repro.campaign.store import (
+    FailedRun,
+    ResultStore,
+    result_to_dict,
+    spec_from_dict,
+    spec_to_dict,
+)
+from repro.experiments.configs import MachineConfig
+from repro.experiments.parallel import RunSpec
+from repro.experiments.runner import WorkloadResult
+
+__all__ = ["Campaign", "CampaignStatus", "MANIFEST_NAME"]
+
+MANIFEST_NAME = "campaign.json"
+
+#: campaign.json schema version.
+MANIFEST_FORMAT = 1
+
+
+def machine_to_dict(config: MachineConfig) -> dict:
+    return {
+        "num_cores": config.num_cores,
+        "geometry": {
+            "size_bytes": config.geometry.size_bytes,
+            "block_bytes": config.geometry.block_bytes,
+            "assoc": config.geometry.assoc,
+        },
+        "num_controllers": config.num_controllers,
+        "instructions": config.instructions,
+        "workload_scale": config.workload_scale,
+    }
+
+
+def machine_from_dict(data: dict) -> MachineConfig:
+    geometry = data["geometry"]
+    return MachineConfig(
+        num_cores=data["num_cores"],
+        geometry=CacheGeometry(
+            size_bytes=geometry["size_bytes"],
+            block_bytes=geometry["block_bytes"],
+            assoc=geometry["assoc"],
+        ),
+        num_controllers=data["num_controllers"],
+        instructions=data["instructions"],
+        workload_scale=data["workload_scale"],
+    )
+
+
+@dataclass(frozen=True)
+class CampaignStatus:
+    """Store-side progress of a campaign (unique fingerprints)."""
+
+    total: int
+    completed: int
+    failed: int
+    pending: int
+
+    @property
+    def done(self) -> bool:
+        return self.pending == 0 and self.failed == 0
+
+    def describe(self) -> str:
+        return (
+            f"{self.completed}/{self.total} completed, "
+            f"{self.failed} failed, {self.pending} pending"
+        )
+
+
+class Campaign:
+    """A spec grid bound to a result store, with a persisted manifest."""
+
+    def __init__(
+        self,
+        store: Union[ResultStore, str, Path],
+        config: MachineConfig,
+        specs: Sequence[RunSpec],
+        retries: int = 1,
+        timeout: Optional[float] = None,
+    ) -> None:
+        self.store = store if isinstance(store, ResultStore) else ResultStore(store)
+        self.config = config
+        self.specs = list(specs)
+        self.retries = retries
+        self.timeout = timeout
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def grid(
+        cls,
+        store: Union[ResultStore, str, Path],
+        config: MachineConfig,
+        mixes: Sequence[str],
+        schemes: Sequence[str],
+        seeds: Iterable[int] = (0,),
+        instructions: Optional[int] = None,
+        scheme_kwargs: Optional[Dict[str, dict]] = None,
+        telemetry: bool = False,
+        retries: int = 1,
+        timeout: Optional[float] = None,
+    ) -> "Campaign":
+        """The standard mixes × schemes × seeds grid as a campaign."""
+        scheme_kwargs = scheme_kwargs or {}
+        specs = [
+            RunSpec(
+                mix=mix,
+                scheme=scheme,
+                seed=seed,
+                instructions=instructions,
+                scheme_kwargs=scheme_kwargs.get(scheme),
+                telemetry=telemetry,
+            )
+            for mix in mixes
+            for scheme in schemes
+            for seed in seeds
+        ]
+        return cls(store, config, specs, retries=retries, timeout=timeout)
+
+    @classmethod
+    def load(cls, store: Union[ResultStore, str, Path]) -> "Campaign":
+        """Rebuild a campaign from its store's manifest alone.
+
+        Raises:
+            FileNotFoundError: the store has no ``campaign.json`` (it was
+                never saved, or the directory is not a campaign store).
+        """
+        if not isinstance(store, ResultStore):
+            store = ResultStore(store)
+        manifest_path = store.root / MANIFEST_NAME
+        if not manifest_path.exists():
+            raise FileNotFoundError(
+                f"{manifest_path} does not exist — not a saved campaign "
+                "(run `repro-sim campaign run` or Campaign.save first)"
+            )
+        with open(manifest_path) as fh:
+            manifest = json.load(fh)
+        return cls(
+            store,
+            machine_from_dict(manifest["machine"]),
+            [spec_from_dict(s) for s in manifest["specs"]],
+            retries=manifest.get("retries", 1),
+            timeout=manifest.get("timeout"),
+        )
+
+    def save(self) -> Path:
+        """Write/refresh the manifest so ``load`` can resume from disk."""
+        from repro import __version__
+
+        manifest = {
+            "format": MANIFEST_FORMAT,
+            "created_at": time.time(),
+            "repro_version": __version__,
+            "machine": machine_to_dict(self.config),
+            "specs": [spec_to_dict(spec) for spec in self.specs],
+            "retries": self.retries,
+            "timeout": self.timeout,
+        }
+        path = self.store.root / MANIFEST_NAME
+        with open(path, "w") as fh:
+            json.dump(manifest, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return path
+
+    # -- queries ------------------------------------------------------------
+
+    def runner(self, jobs: Optional[int] = None) -> CampaignRunner:
+        return CampaignRunner(
+            self.store,
+            self.config,
+            jobs=jobs,
+            retries=self.retries,
+            timeout=self.timeout,
+        )
+
+    def fingerprints(self) -> List[str]:
+        """One fingerprint per spec, aligned with ``self.specs``."""
+        runner = self.runner()
+        return [runner.fingerprint(spec) for spec in self.specs]
+
+    def status(self) -> CampaignStatus:
+        """Progress over the campaign's unique fingerprints."""
+        completed = failed = 0
+        seen = set()
+        for spec, fp in zip(self.specs, self.fingerprints()):
+            if fp in seen:
+                continue
+            seen.add(fp)
+            if cache_hit(self.store, fp, spec) is not None:
+                completed += 1
+            elif self.store.failure_for(fp) is not None:
+                failed += 1
+        total = len(seen)
+        return CampaignStatus(
+            total=total,
+            completed=completed,
+            failed=failed,
+            pending=total - completed - failed,
+        )
+
+    def failures(self) -> List[FailedRun]:
+        """Stored failures belonging to this campaign's fingerprints."""
+        wanted = set(self.fingerprints())
+        return [f for f in self.store.failures() if f.fingerprint in wanted]
+
+    def results(self) -> List[Optional[WorkloadResult]]:
+        """Stored results aligned with ``self.specs`` (``None`` = not done)."""
+        runner = self.runner()
+        return [
+            cache_hit(self.store, runner.fingerprint(spec), spec) for spec in self.specs
+        ]
+
+    # -- execution ----------------------------------------------------------
+
+    def run(
+        self,
+        jobs: Optional[int] = None,
+        progress: Progress = None,
+        limit: Optional[int] = None,
+    ) -> CampaignRun:
+        """Execute (or resume) the campaign: only pending specs simulate.
+
+        Saves the manifest first, so even a run killed before its first
+        result leaves a resumable store behind.
+        """
+        self.save()
+        return self.runner(jobs=jobs).run(self.specs, progress=progress, limit=limit)
+
+    # -- export -------------------------------------------------------------
+
+    #: Summary-metric columns shared by both export formats.
+    EXPORT_FIELDS = (
+        "fingerprint",
+        "status",
+        "mix",
+        "scheme",
+        "seed",
+        "instructions",
+        "antt",
+        "fairness",
+        "throughput",
+        "weighted_speedup",
+        "intervals",
+        "wall_seconds",
+        "host",
+        "repro_version",
+        "error",
+    )
+
+    def export_rows(self) -> List[dict]:
+        """One flat summary row per unique spec, in campaign order."""
+        rows = []
+        seen = set()
+        runner = self.runner()
+        for spec in self.specs:
+            fp = runner.fingerprint(spec)
+            if fp in seen:
+                continue
+            seen.add(fp)
+            row = {
+                "fingerprint": fp,
+                "mix": spec.mix if isinstance(spec.mix, str) else "+".join(spec.mix),
+                "scheme": spec.scheme,
+                "seed": spec.seed,
+                "instructions": (
+                    spec.instructions
+                    if spec.instructions is not None
+                    else self.config.instructions
+                ),
+            }
+            stored = self.store.record_for(fp)
+            failure = self.store.failure_for(fp)
+            if stored is not None:
+                result = stored.result
+                row.update(
+                    status="completed",
+                    antt=result.antt,
+                    fairness=result.fairness,
+                    throughput=result.throughput,
+                    weighted_speedup=result.weighted_speedup,
+                    intervals=result.intervals,
+                    wall_seconds=stored.meta.wall_seconds,
+                    host=stored.meta.host,
+                    repro_version=stored.meta.repro_version,
+                )
+            elif failure is not None:
+                row.update(
+                    status="failed",
+                    error=f"{failure.error_type}: {failure.message}",
+                )
+            else:
+                row.update(status="pending")
+            rows.append(row)
+        return rows
+
+    def export_csv(self, path: Union[str, Path]) -> Path:
+        """Write the per-spec summary table as CSV."""
+        path = Path(path)
+        with open(path, "w", newline="") as fh:
+            writer = csv.DictWriter(fh, fieldnames=self.EXPORT_FIELDS, restval="")
+            writer.writeheader()
+            for row in self.export_rows():
+                writer.writerow(row)
+        return path
+
+    def export_jsonl(self, path: Union[str, Path]) -> Path:
+        """Write full records (summary row + complete result) as JSONL."""
+        path = Path(path)
+        with open(path, "w") as fh:
+            seen = set()
+            runner = self.runner()
+            rows = {row["fingerprint"]: row for row in self.export_rows()}
+            for spec in self.specs:
+                fp = runner.fingerprint(spec)
+                if fp in seen:
+                    continue
+                seen.add(fp)
+                record = dict(rows[fp])
+                stored = self.store.record_for(fp)
+                if stored is not None:
+                    record["result"] = result_to_dict(stored.result)
+                fh.write(json.dumps(record) + "\n")
+        return path
+
+    def export(self, path: Union[str, Path], fmt: Optional[str] = None) -> Path:
+        """Export by format name, or by the path's extension."""
+        path = Path(path)
+        if fmt is None:
+            fmt = "csv" if path.suffix.lower() == ".csv" else "jsonl"
+        if fmt == "csv":
+            return self.export_csv(path)
+        if fmt == "jsonl":
+            return self.export_jsonl(path)
+        raise ValueError(f"unknown export format {fmt!r} (expected csv or jsonl)")

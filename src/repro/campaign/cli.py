@@ -1,0 +1,107 @@
+"""`repro-sim campaign` subcommand handlers.
+
+Parser wiring lives in :mod:`repro.cli` (one place builds the whole CLI);
+this module holds the handlers so the campaign machinery only imports when
+a campaign command actually runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.campaign.campaign import Campaign
+from repro.experiments.common import format_table
+from repro.experiments.configs import machine
+from repro.workloads.mixes import get_mix
+
+__all__ = ["cmd_campaign"]
+
+
+def _grid_machine(args):
+    """The machine for a campaign grid, with core count from the mixes."""
+    core_counts = {mix: len(get_mix(mix)) for mix in args.mixes}
+    counts = set(core_counts.values())
+    if len(counts) > 1:
+        raise SystemExit(
+            f"campaign mixes must share one core count, got {core_counts}"
+        )
+    return machine(
+        counts.pop(),
+        scale_factor=args.scale_factor,
+        instructions=args.instructions,
+    )
+
+
+def _print_run(campaign: Campaign, run) -> None:
+    print(run.describe())
+    rows = []
+    for spec, result in zip(campaign.specs, run.results):
+        if result is None:
+            continue
+        rows.append(
+            [spec.mix, spec.scheme, spec.seed, result.antt, result.fairness,
+             result.throughput]
+        )
+    if rows:
+        print(format_table(
+            ["mix", "scheme", "seed", "ANTT", "fairness", "throughput"], rows
+        ))
+    for failure in run.failures:
+        print(f"FAILED: {failure.describe()}")
+    print(f"store: {campaign.store.root} ({campaign.status().describe()})")
+
+
+def cmd_campaign_run(args) -> int:
+    campaign = Campaign.grid(
+        args.store,
+        _grid_machine(args),
+        mixes=args.mixes,
+        schemes=args.schemes,
+        seeds=args.seeds,
+        telemetry=args.telemetry,
+        retries=args.retries,
+        timeout=args.timeout,
+    )
+    progress = None if args.quiet else (lambda msg: print(f"  {msg}", flush=True))
+    run = campaign.run(jobs=args.jobs, progress=progress, limit=args.limit)
+    _print_run(campaign, run)
+    return 1 if run.failures else 0
+
+
+def cmd_campaign_status(args) -> int:
+    campaign = Campaign.load(args.store)
+    status = campaign.status()
+    print(f"campaign: {campaign.store.root}")
+    print(f"machine:  {campaign.config}")
+    print(f"specs:    {len(campaign.specs)} ({status.total} unique)")
+    print(f"status:   {status.describe()}")
+    for failure in campaign.failures():
+        print(f"  FAILED: {failure.describe()}")
+    return 0 if status.done else 1
+
+
+def cmd_campaign_resume(args) -> int:
+    campaign = Campaign.load(args.store)
+    progress = None if args.quiet else (lambda msg: print(f"  {msg}", flush=True))
+    run = campaign.run(jobs=args.jobs, progress=progress, limit=args.limit)
+    _print_run(campaign, run)
+    return 1 if run.failures else 0
+
+
+def cmd_campaign_export(args) -> int:
+    campaign = Campaign.load(args.store)
+    path = campaign.export(args.output, fmt=args.format)
+    print(f"wrote {path}")
+    return 0
+
+
+_HANDLERS = {
+    "run": cmd_campaign_run,
+    "status": cmd_campaign_status,
+    "resume": cmd_campaign_resume,
+    "export": cmd_campaign_export,
+}
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    return _HANDLERS[args.campaign_command](args)

@@ -1,0 +1,197 @@
+"""CampaignRunner: the store-aware, fault-tolerant layer over spec grids.
+
+``run(specs)`` is the one verb: fingerprint every spec, skip the ones the
+:class:`~repro.campaign.store.ResultStore` already holds, execute the rest
+with per-spec isolation (:mod:`repro.campaign.executor`), and persist each
+outcome — result or typed :class:`~repro.campaign.store.FailedRun` — the
+moment it lands. Because persistence is incremental, killing the driver at
+any point loses at most the in-flight specs; calling ``run`` again resumes
+and executes exactly the remainder.
+
+The same skip-by-fingerprint cache is available *without* the fault
+tolerance through ``run_specs(..., store=...)`` (or the ``REPRO_STORE``
+environment variable) — that path keeps ``run_specs``'s raise-on-error
+contract and is what the figure experiments ride on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.campaign.executor import iter_isolated
+from repro.campaign.fingerprint import spec_fingerprint
+from repro.campaign.store import FailedRun, ResultStore
+from repro.experiments.configs import MachineConfig
+from repro.experiments.parallel import RunSpec, resolve_jobs
+from repro.experiments.runner import WorkloadResult
+
+__all__ = ["CampaignRun", "CampaignRunner", "cache_hit"]
+
+Progress = Optional[Callable[[str], None]]
+
+
+def cache_hit(store: ResultStore, fingerprint: str, spec: RunSpec) -> Optional[WorkloadResult]:
+    """The stored result for ``spec``, or ``None`` if it must (re)run.
+
+    A stored result only satisfies a spec that asked for telemetry if a
+    trace was actually recorded — otherwise the spec re-runs and the
+    richer result supersedes the stored one (last record wins).
+    """
+    result = store.get(fingerprint)
+    if result is None:
+        return None
+    if spec.telemetry and result.telemetry is None:
+        return None
+    return result
+
+
+@dataclass
+class CampaignRun:
+    """Outcome of one ``CampaignRunner.run`` call.
+
+    ``results`` aligns with the input specs (``None`` where the spec
+    failed); the executed/skipped/failed counters are over *unique*
+    fingerprints — duplicate specs in a grid execute once.
+    """
+
+    results: List[Optional[WorkloadResult]]
+    failures: List[FailedRun] = field(default_factory=list)
+    executed: int = 0
+    skipped: int = 0
+    remaining: int = 0  # pending specs not attempted (hit the ``limit``)
+
+    @property
+    def failed(self) -> int:
+        return len(self.failures)
+
+    def describe(self) -> str:
+        parts = [f"executed {self.executed}", f"skipped {self.skipped} (cached)"]
+        if self.failed:
+            parts.append(f"failed {self.failed}")
+        if self.remaining:
+            parts.append(f"remaining {self.remaining}")
+        return ", ".join(parts)
+
+
+class CampaignRunner:
+    """Executes spec grids against a result store.
+
+    Args:
+        store: a :class:`ResultStore` or a path to create/open one.
+        config: machine shared by every spec.
+        jobs: concurrent worker processes (``None`` consults
+            ``REPRO_JOBS``, like every other ``jobs=`` in the repo).
+        retries: extra fresh-worker attempts per failing spec.
+        timeout: per-attempt wall-clock limit in seconds (``None`` = no
+            limit; enforced with one process per attempt).
+    """
+
+    def __init__(
+        self,
+        store: Union[ResultStore, str],
+        config: MachineConfig,
+        jobs: Optional[int] = None,
+        retries: int = 1,
+        timeout: Optional[float] = None,
+    ) -> None:
+        self.store = store if isinstance(store, ResultStore) else ResultStore(store)
+        self.config = config
+        self.jobs = jobs
+        self.retries = retries
+        self.timeout = timeout
+
+    def fingerprint(self, spec: RunSpec) -> str:
+        return spec_fingerprint(spec, self.config)
+
+    def run(
+        self,
+        specs: Sequence[RunSpec],
+        progress: Progress = None,
+        limit: Optional[int] = None,
+    ) -> CampaignRun:
+        """Execute every spec not already in the store.
+
+        Args:
+            specs: the grid (duplicates are deduplicated by fingerprint).
+            progress: optional ``callable(str)`` invoked per completion.
+            limit: execute at most this many pending specs this call
+                (the rest stay pending for the next ``run``/resume).
+
+        Returns:
+            A :class:`CampaignRun`; ``results[i]`` corresponds to
+            ``specs[i]`` and is ``None`` only if that spec failed (its
+            :class:`FailedRun` is in ``failures`` and in the store).
+        """
+        specs = list(specs)
+        fingerprints = [self.fingerprint(spec) for spec in specs]
+        cached: Dict[str, WorkloadResult] = {}
+        pending: Dict[str, RunSpec] = {}
+        for spec, fp in zip(specs, fingerprints):
+            if fp in cached or fp in pending:
+                continue
+            hit = cache_hit(self.store, fp, spec)
+            if hit is not None:
+                cached[fp] = hit
+            else:
+                pending[fp] = spec
+
+        pending_items = list(pending.items())
+        remaining = 0
+        if limit is not None and limit < len(pending_items):
+            remaining = len(pending_items) - limit
+            pending_items = pending_items[:limit]
+
+        executed: Dict[str, WorkloadResult] = {}
+        failures: Dict[str, FailedRun] = {}
+        if pending_items:
+            run_fps = [fp for fp, _ in pending_items]
+            run_specs_ = [spec for _, spec in pending_items]
+            done = 0
+            for outcome in iter_isolated(
+                run_specs_,
+                self.config,
+                jobs=self.jobs,
+                retries=self.retries,
+                timeout=self.timeout,
+            ):
+                fp = run_fps[outcome.index]
+                done += 1
+                if outcome.ok:
+                    self.store.add_result(
+                        fp, outcome.spec, outcome.result,
+                        wall_seconds=outcome.wall_seconds,
+                    )
+                    executed[fp] = outcome.result
+                    if progress:
+                        progress(
+                            f"[{done}/{len(pending_items)}] {outcome.spec.describe()} "
+                            f"({outcome.wall_seconds:.1f}s)"
+                        )
+                else:
+                    failure = FailedRun(
+                        fingerprint=fp,
+                        spec=outcome.spec,
+                        error_type=outcome.error.error_type,
+                        message=outcome.error.message,
+                        traceback=outcome.error.traceback,
+                        attempts=outcome.attempts,
+                        timed_out=outcome.error.timed_out,
+                    )
+                    self.store.add_failure(failure)
+                    failures[fp] = failure
+                    if progress:
+                        progress(f"[{done}/{len(pending_items)}] FAILED {failure.describe()}")
+
+        merged = {**cached, **executed}
+        results = [merged.get(fp) for fp in fingerprints]
+        return CampaignRun(
+            results=results,
+            failures=list(failures.values()),
+            executed=len(executed),
+            skipped=len(cached),
+            remaining=remaining,
+        )
+
+    def resolve_jobs(self) -> int:
+        return resolve_jobs(self.jobs)

@@ -6,6 +6,8 @@ Installed as ``repro-sim``::
     repro-sim run --mix Q7 --scheme prism-h         # one shared run
     repro-sim compare --mix Q7 lru prism-h ucp      # side-by-side
     repro-sim experiment fig7 --csv out/fig7        # a paper figure (+CSV)
+    repro-sim campaign run --store sweeps/s1 \\
+        --mixes Q1 Q7 --schemes lru prism-h         # resumable sweep
 """
 
 from __future__ import annotations
@@ -37,8 +39,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-sim",
         description="PriSM (ISCA 2012) reproduction: shared-cache simulation CLI",
     )
-    # Shared by every fan-out subcommand; exported as REPRO_JOBS so the
-    # parallel executor is picked up however deep the experiment code sits.
+    # Shared by every fan-out subcommand; exported as REPRO_JOBS /
+    # REPRO_STORE so the parallel executor is picked up however deep the
+    # experiment code sits.
     jobs_parent = argparse.ArgumentParser(add_help=False)
     jobs_parent.add_argument(
         "--jobs",
@@ -46,6 +49,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker processes for independent runs (0 = all CPUs; "
         "default: serial, or the REPRO_JOBS environment variable)",
+    )
+    jobs_parent.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="result-store directory (see docs/campaigns.md): runs already "
+        "in the store are not recomputed, new runs persist into it "
+        "(default: the REPRO_STORE environment variable)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -125,6 +136,62 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--scheme", default="prism-h")
     sweep_p.add_argument("--instructions", type=int, default=None)
     sweep_p.add_argument("--seed", type=int, default=0)
+
+    camp_p = sub.add_parser(
+        "campaign",
+        help="resumable, fault-tolerant experiment sweeps backed by a "
+        "content-addressed result store (docs/campaigns.md)",
+    )
+    camp_sub = camp_p.add_subparsers(dest="campaign_command", required=True)
+
+    camp_store = argparse.ArgumentParser(add_help=False)
+    camp_store.add_argument(
+        "--store", required=True, metavar="DIR", help="campaign store directory"
+    )
+
+    crun_p = camp_sub.add_parser(
+        "run", help="run a mixes x schemes x seeds grid (skipping cached runs)",
+        parents=[camp_store],
+    )
+    crun_p.add_argument("--mixes", nargs="+", required=True,
+                        help="mix names (must share one core count)")
+    crun_p.add_argument("--schemes", nargs="+", required=True,
+                        help="scheme registry names")
+    crun_p.add_argument("--seeds", nargs="*", type=int, default=[0])
+    crun_p.add_argument("--instructions", type=int, default=None)
+    crun_p.add_argument("--scale-factor", type=int, default=64)
+    crun_p.add_argument("--jobs", type=int, default=None,
+                        help="concurrent worker processes (0 = all CPUs)")
+    crun_p.add_argument("--retries", type=int, default=1,
+                        help="extra fresh-worker attempts per failing spec")
+    crun_p.add_argument("--timeout", type=float, default=None,
+                        help="per-spec wall-clock limit in seconds")
+    crun_p.add_argument("--limit", type=int, default=None,
+                        help="execute at most N pending specs this invocation")
+    crun_p.add_argument("--telemetry", action="store_true",
+                        help="record per-interval traces into the store")
+    crun_p.add_argument("--quiet", action="store_true")
+
+    camp_sub.add_parser(
+        "status", help="summarise a campaign store (exit 0 iff complete)",
+        parents=[camp_store],
+    )
+
+    cresume_p = camp_sub.add_parser(
+        "resume", help="resume an interrupted campaign from its store alone",
+        parents=[camp_store],
+    )
+    cresume_p.add_argument("--jobs", type=int, default=None)
+    cresume_p.add_argument("--limit", type=int, default=None)
+    cresume_p.add_argument("--quiet", action="store_true")
+
+    cexport_p = camp_sub.add_parser(
+        "export", help="export campaign results as CSV or JSONL",
+        parents=[camp_store],
+    )
+    cexport_p.add_argument("-o", "--output", required=True)
+    cexport_p.add_argument("--format", choices=["csv", "jsonl"], default=None,
+                           help="default: by output extension")
     return parser
 
 
@@ -136,6 +203,7 @@ def _run_options(args, progress=None, telemetry=False) -> RunOptions:
         jobs=getattr(args, "jobs", None),
         progress=progress,
         telemetry=telemetry,
+        store=getattr(args, "store", None),
     )
 
 
@@ -338,14 +406,24 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_campaign(args) -> int:
+    from repro.campaign.cli import cmd_campaign as handler
+
+    return handler(args)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    if getattr(args, "jobs", None) is not None:
+    if args.command != "campaign":
         # Exported rather than threaded through every experiment signature:
-        # repro.experiments.parallel.resolve_jobs reads it at fan-out time.
+        # repro.experiments.parallel resolves REPRO_JOBS/REPRO_STORE at
+        # fan-out time. (Campaign commands manage their own store/jobs.)
         import os
 
-        os.environ["REPRO_JOBS"] = str(args.jobs)
+        if getattr(args, "jobs", None) is not None:
+            os.environ["REPRO_JOBS"] = str(args.jobs)
+        if getattr(args, "store", None):
+            os.environ["REPRO_STORE"] = args.store
     handlers = {
         "list": cmd_list,
         "run": cmd_run,
@@ -355,6 +433,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "cost": cmd_cost,
         "report": cmd_report,
         "characterize": cmd_characterize,
+        "campaign": cmd_campaign,
     }
     try:
         return handlers[args.command](args)

@@ -7,7 +7,13 @@ wraps these in pytest-benchmark entry points that print paper-style rows.
 
 from repro.experiments.configs import MachineConfig, machine
 from repro.experiments.options import RunOptions, experiment_run
-from repro.experiments.parallel import RunSpec, parallel_compare_schemes, resolve_jobs, run_specs
+from repro.experiments.parallel import (
+    RunSpec,
+    SpecRunError,
+    parallel_compare_schemes,
+    resolve_jobs,
+    run_specs,
+)
 from repro.experiments.runner import (
     StandaloneIPCCache,
     WorkloadResult,
@@ -28,6 +34,7 @@ __all__ = [
     "SCHEMES",
     "build_scheme",
     "RunSpec",
+    "SpecRunError",
     "resolve_jobs",
     "run_specs",
     "parallel_compare_schemes",

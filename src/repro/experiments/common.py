@@ -47,9 +47,17 @@ def compare_schemes(
     Returns:
         ``results[mix][scheme] -> WorkloadResult``.
     """
-    from repro.experiments.parallel import parallel_compare_schemes, resolve_jobs
+    import os
 
-    if resolve_jobs(jobs) > 1:
+    from repro.experiments.parallel import (
+        STORE_ENV,
+        parallel_compare_schemes,
+        resolve_jobs,
+    )
+
+    # A configured result store routes even serial grids through
+    # run_specs, which owns the skip-completed/persist cache layer.
+    if resolve_jobs(jobs) > 1 or os.environ.get(STORE_ENV):
         return parallel_compare_schemes(
             mixes,
             config,

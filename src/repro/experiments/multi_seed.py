@@ -70,6 +70,7 @@ def run_seeds(
     scheme_kwargs: Optional[dict] = None,
     confidence: float = 0.95,
     jobs: Optional[int] = None,
+    store=None,
 ) -> SeedSweep:
     """Run one (mix, scheme) across several seeds and summarise.
 
@@ -77,6 +78,12 @@ def run_seeds(
     independent, so ``jobs`` above 1 (or ``REPRO_JOBS``) distributes them
     over a process pool with per-seed results identical to a serial loop
     (see :mod:`repro.experiments.parallel`).
+
+    Args:
+        store: a :class:`repro.campaign.ResultStore` (or path): per-seed
+            runs already in the store are not recomputed, and fresh ones
+            persist for the next sweep. ``None`` consults ``REPRO_STORE``
+            (see :mod:`repro.campaign`).
 
     Raises:
         ValueError: if no seeds are given.
@@ -93,7 +100,7 @@ def run_seeds(
         )
         for seed in seeds
     ]
-    results = run_specs(specs, config, jobs=jobs)
+    results = run_specs(specs, config, jobs=jobs, store=store)
     sweep = SeedSweep(mix=results[0].mix, scheme=scheme, results=results)
     for metric in _METRICS:
         values = [getattr(r, metric) for r in results]
@@ -110,8 +117,13 @@ def compare_with_confidence(
     metric: str = "antt",
     instructions: Optional[int] = None,
     jobs: Optional[int] = None,
+    store=None,
 ) -> Tuple[SeedSweep, SeedSweep, bool]:
     """Run two schemes across seeds; report whether A beats B decisively.
+
+    With a single seed both confidence intervals are degenerate points,
+    so ``significant`` simply reports whether the two means differ; treat
+    single-seed "significance" accordingly.
 
     Returns:
         ``(sweep_a, sweep_b, significant)`` where ``significant`` means the
@@ -119,7 +131,11 @@ def compare_with_confidence(
         lower-is-better orientation handled by the caller — this function
         only reports separation).
     """
-    sweep_a = run_seeds(mix, config, scheme_a, seeds, instructions=instructions, jobs=jobs)
-    sweep_b = run_seeds(mix, config, scheme_b, seeds, instructions=instructions, jobs=jobs)
+    sweep_a = run_seeds(
+        mix, config, scheme_a, seeds, instructions=instructions, jobs=jobs, store=store
+    )
+    sweep_b = run_seeds(
+        mix, config, scheme_b, seeds, instructions=instructions, jobs=jobs, store=store
+    )
     separated = not sweep_a.metrics[metric].overlaps(sweep_b.metrics[metric])
     return sweep_a, sweep_b, separated

@@ -24,8 +24,9 @@ from typing import Callable, Optional
 
 __all__ = ["RunOptions", "resolve_run_options", "experiment_run"]
 
-#: Same env var the parallel executor reads (kept in sync by a test).
+#: Same env vars the parallel executor reads (kept in sync by a test).
 JOBS_ENV = "REPRO_JOBS"
+STORE_ENV = "REPRO_STORE"
 
 #: Run controls the decorator still accepts as legacy keyword arguments.
 _LEGACY_KWARGS = ("instructions", "seed", "progress", "jobs", "telemetry")
@@ -47,6 +48,10 @@ class RunOptions:
             ``TelemetryRecorder`` for a single run).
         standalone_cache: the ``IPC^SP`` memo to use (``None`` = the
             process-wide default).
+        store: path to a :class:`repro.campaign.ResultStore` directory;
+            grids executed under these options skip runs the store
+            already holds and persist new ones (``None`` = no store
+            unless ``REPRO_STORE`` is set).
     """
 
     instructions: Optional[int] = None
@@ -55,6 +60,7 @@ class RunOptions:
     seed: int = 0
     telemetry: object = False
     standalone_cache: object = None
+    store: Optional[str] = None
 
 
 def resolve_run_options(
@@ -82,20 +88,32 @@ def resolve_run_options(
 
 
 @contextmanager
-def _jobs_env(jobs: Optional[int]):
-    """Temporarily pin ``REPRO_JOBS`` so nested compare/run calls see it."""
-    if jobs is None:
+def _run_env(jobs: Optional[int], store: Optional[str] = None):
+    """Temporarily pin ``REPRO_JOBS``/``REPRO_STORE`` for nested calls.
+
+    The figure implementations fan out through ``compare_schemes`` many
+    layers down; rather than threading ``jobs``/``store`` through every
+    signature, the wrapper pins the env vars the parallel executor
+    resolves at fan-out time.
+    """
+    overrides = {}
+    if jobs is not None:
+        overrides[JOBS_ENV] = str(jobs)
+    if store is not None:
+        overrides[STORE_ENV] = os.fspath(store)
+    if not overrides:
         yield
         return
-    previous = os.environ.get(JOBS_ENV)
-    os.environ[JOBS_ENV] = str(jobs)
+    previous = {name: os.environ.get(name) for name in overrides}
+    os.environ.update(overrides)
     try:
         yield
     finally:
-        if previous is None:
-            os.environ.pop(JOBS_ENV, None)
-        else:
-            os.environ[JOBS_ENV] = previous
+        for name, value in previous.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
 
 
 def experiment_run(func):
@@ -104,10 +122,10 @@ def experiment_run(func):
     The wrapped function keeps its internal signature
     (``instructions=None, ..., seed=0, progress=None``); the wrapper
     exposes ``run(options=None, **figure_kwargs)``, forwards whichever
-    run controls the implementation declares, pins ``REPRO_JOBS`` while
-    it executes when ``options.jobs`` is set, and accepts the legacy
-    kwargs (and a bare positional instruction count) with a
-    ``DeprecationWarning``.
+    run controls the implementation declares, pins ``REPRO_JOBS`` /
+    ``REPRO_STORE`` while it executes when ``options.jobs`` /
+    ``options.store`` are set, and accepts the legacy kwargs (and a bare
+    positional instruction count) with a ``DeprecationWarning``.
     """
     accepted = set(inspect.signature(func).parameters)
 
@@ -121,7 +139,7 @@ def experiment_run(func):
         for name in ("instructions", "seed", "progress", "telemetry"):
             if name in accepted:
                 kwargs[name] = getattr(opts, name)
-        with _jobs_env(opts.jobs):
+        with _run_env(opts.jobs, opts.store):
             return func(**kwargs)
 
     wrapper.__wrapped_run__ = func

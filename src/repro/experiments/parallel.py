@@ -34,16 +34,32 @@ once per (profile, geometry, policy) per worker.
 from __future__ import annotations
 
 import os
+import time
+import traceback
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.experiments.configs import MachineConfig
 from repro.experiments.runner import WorkloadResult, run_workload
 
-__all__ = ["RunSpec", "resolve_jobs", "run_specs", "parallel_compare_schemes"]
+__all__ = [
+    "RunSpec",
+    "SpecRunError",
+    "resolve_jobs",
+    "run_specs",
+    "parallel_compare_schemes",
+]
 
 #: Environment variable consulted when ``jobs`` is ``None``.
 JOBS_ENV = "REPRO_JOBS"
+
+#: Environment variable consulted when ``store`` is ``None``: a path to a
+#: :class:`repro.campaign.ResultStore` directory. When set, every
+#: ``run_specs`` grid (and therefore every figure experiment) skips specs
+#: whose fingerprint the store already holds and persists new results as
+#: they complete. Set by ``repro-sim --store`` and
+#: ``examples/reproduce_paper.py --store``.
+STORE_ENV = "REPRO_STORE"
 
 
 @dataclass(frozen=True)
@@ -67,6 +83,35 @@ class RunSpec:
 
     def describe(self) -> str:
         return f"{self.mix} / {self.scheme} / seed {self.seed}"
+
+
+class SpecRunError(RuntimeError):
+    """A run failed inside :func:`run_specs`, annotated with its spec.
+
+    Raised instead of letting a worker's exception propagate raw out of
+    ``imap_unordered`` with no indication of which grid cell died. The
+    original exception is chained as ``__cause__`` on the serial path;
+    on the pool path (where the original traceback cannot cross the
+    process boundary) the worker's formatted traceback is kept in
+    :attr:`worker_traceback`.
+    """
+
+    def __init__(
+        self,
+        spec: RunSpec,
+        index: int,
+        error_type: str,
+        message: str,
+        worker_traceback: str = "",
+    ) -> None:
+        self.spec = spec
+        self.index = index
+        self.error_type = error_type
+        self.error_message = message
+        self.worker_traceback = worker_traceback
+        super().__init__(
+            f"spec [{index}] ({spec.describe()}) failed: {error_type}: {message}"
+        )
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
@@ -94,17 +139,27 @@ def _init_worker(config: MachineConfig) -> None:
 
 
 def _run_indexed_spec(item):
+    """Run one spec; report success or a picklable error description.
+
+    Exceptions are returned, not raised: a raw exception out of
+    ``imap_unordered`` carries no hint of which spec died, so the driver
+    re-raises it as a :class:`SpecRunError` with the spec's context.
+    """
     index, spec = item
-    result = run_workload(
-        spec.mix,
-        _worker_config,
-        spec.scheme,
-        seed=spec.seed,
-        instructions=spec.instructions,
-        scheme_kwargs=spec.scheme_kwargs,
-        telemetry=spec.telemetry,
-    )
-    return index, result
+    start = time.perf_counter()
+    try:
+        result = run_workload(
+            spec.mix,
+            _worker_config,
+            spec.scheme,
+            seed=spec.seed,
+            instructions=spec.instructions,
+            scheme_kwargs=spec.scheme_kwargs,
+            telemetry=spec.telemetry,
+        )
+    except Exception as exc:
+        return index, None, (type(exc).__name__, str(exc), traceback.format_exc()), 0.0
+    return index, result, None, time.perf_counter() - start
 
 
 # -- driver side ------------------------------------------------------------
@@ -118,34 +173,48 @@ def _pool_context():
     return multiprocessing.get_context()
 
 
-def run_specs(
+def _resolve_store(store):
+    """``store`` argument -> a ResultStore, or None (no caching layer).
+
+    ``None`` consults the ``REPRO_STORE`` environment variable (mirroring
+    the ``jobs``/``REPRO_JOBS`` convention); a string/path opens a store
+    at that directory; a ready-made store object passes through.
+    """
+    if store is None:
+        path = os.environ.get(STORE_ENV)
+        if not path:
+            return None
+        store = path
+    if isinstance(store, (str, os.PathLike)):
+        from repro.campaign.store import ResultStore
+
+        return ResultStore(store)
+    return store
+
+
+def _execute_specs(
     specs: Sequence[RunSpec],
     config: MachineConfig,
     jobs: Optional[int] = None,
     progress=None,
+    on_result: Optional[Callable[[int, WorkloadResult, float], None]] = None,
 ) -> List[WorkloadResult]:
-    """Execute every spec and return results in spec order.
+    """The execution core of :func:`run_specs` (no store layer).
 
-    Args:
-        specs: the runs to execute (see :class:`RunSpec`).
-        config: machine shared by every run.
-        jobs: worker processes (see module docstring for the resolution
-            rules). ``1`` executes serially in-process.
-        progress: optional ``callable(str)`` invoked as runs complete.
-
-    Returns:
-        ``results[i]`` is the outcome of ``specs[i]`` — identical, field
-        for field, to what a serial ``run_workload`` loop would produce.
+    ``on_result(index, result, wall_seconds)`` fires in the driver as each
+    run completes — the store layer uses it to persist incrementally, so
+    an interrupted grid keeps everything that finished.
     """
     specs = list(specs)
     jobs = resolve_jobs(jobs)
     if jobs <= 1 or len(specs) <= 1:
         results = []
-        for spec in specs:
+        for index, spec in enumerate(specs):
             if progress:
                 progress(spec.describe())
-            results.append(
-                run_workload(
+            start = time.perf_counter()
+            try:
+                result = run_workload(
                     spec.mix,
                     config,
                     spec.scheme,
@@ -154,7 +223,13 @@ def run_specs(
                     scheme_kwargs=spec.scheme_kwargs,
                     telemetry=spec.telemetry,
                 )
-            )
+            except Exception as exc:
+                raise SpecRunError(
+                    spec, index, type(exc).__name__, str(exc)
+                ) from exc
+            if on_result:
+                on_result(index, result, time.perf_counter() - start)
+            results.append(result)
         return results
 
     results: List[Optional[WorkloadResult]] = [None] * len(specs)
@@ -167,14 +242,103 @@ def run_specs(
     ) as pool:
         # Unordered completion for throughput; the index restores spec
         # order so parallel output is indistinguishable from serial.
-        for index, result in pool.imap_unordered(
+        for index, result, error, elapsed in pool.imap_unordered(
             _run_indexed_spec, list(enumerate(specs))
         ):
+            if error is not None:
+                error_type, message, worker_tb = error
+                raise SpecRunError(
+                    specs[index], index, error_type, message,
+                    worker_traceback=worker_tb,
+                )
             results[index] = result
+            if on_result:
+                on_result(index, result, elapsed)
             done += 1
             if progress:
                 progress(f"[{done}/{len(specs)}] {specs[index].describe()}")
     return results  # type: ignore[return-value]
+
+
+def _run_specs_stored(
+    specs: Sequence[RunSpec],
+    config: MachineConfig,
+    store,
+    jobs: Optional[int] = None,
+    progress=None,
+) -> List[WorkloadResult]:
+    """Store-backed :func:`run_specs`: skip cached fingerprints, persist new.
+
+    Pure caching layer — failures still raise :class:`SpecRunError` (the
+    fault-*tolerant* contract lives in :mod:`repro.campaign.runner`).
+    """
+    from repro.campaign.fingerprint import spec_fingerprint
+    from repro.campaign.runner import cache_hit
+
+    fingerprints = [spec_fingerprint(spec, config) for spec in specs]
+    cached = [cache_hit(store, fp, spec) for fp, spec in zip(fingerprints, specs)]
+    pending: Dict[str, int] = {}  # fingerprint -> first index (dedup)
+    for index, (fp, hit) in enumerate(zip(fingerprints, cached)):
+        if hit is None and fp not in pending:
+            pending[fp] = index
+    pending_fps = list(pending)
+    pending_specs = [specs[i] for i in pending.values()]
+    if progress and len(pending_specs) < len(specs):
+        progress(
+            f"store: {len(specs) - len(pending_specs)}/{len(specs)} cached "
+            f"({store.root})"
+        )
+
+    def persist(index: int, result: WorkloadResult, wall_seconds: float) -> None:
+        store.add_result(
+            pending_fps[index], pending_specs[index], result,
+            wall_seconds=wall_seconds,
+        )
+
+    executed = _execute_specs(
+        pending_specs, config, jobs=jobs, progress=progress, on_result=persist
+    )
+    by_fp = dict(zip(pending_fps, executed))
+    return [
+        hit if hit is not None else by_fp[fp]
+        for fp, hit in zip(fingerprints, cached)
+    ]
+
+
+def run_specs(
+    specs: Sequence[RunSpec],
+    config: MachineConfig,
+    jobs: Optional[int] = None,
+    progress=None,
+    store=None,
+) -> List[WorkloadResult]:
+    """Execute every spec and return results in spec order.
+
+    Args:
+        specs: the runs to execute (see :class:`RunSpec`).
+        config: machine shared by every run.
+        jobs: worker processes (see module docstring for the resolution
+            rules). ``1`` executes serially in-process.
+        progress: optional ``callable(str)`` invoked as runs complete.
+        store: a :class:`repro.campaign.ResultStore` (or a path to one);
+            specs whose fingerprint the store holds return the stored
+            result without simulating, and fresh results persist into the
+            store as they complete. ``None`` consults ``REPRO_STORE``.
+
+    Returns:
+        ``results[i]`` is the outcome of ``specs[i]`` — identical, field
+        for field, to what a serial ``run_workload`` loop would produce
+        (stored results round-trip exactly, so this holds across runs).
+
+    Raises:
+        SpecRunError: a run raised; the error names the failing spec and
+            chains/embeds the worker's original traceback.
+    """
+    specs = list(specs)
+    store = _resolve_store(store)
+    if store is not None:
+        return _run_specs_stored(specs, config, store, jobs=jobs, progress=progress)
+    return _execute_specs(specs, config, jobs=jobs, progress=progress)
 
 
 def parallel_compare_schemes(

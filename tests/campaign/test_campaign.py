@@ -1,0 +1,232 @@
+"""Campaign semantics: resume, fault isolation, zero-recompute caching."""
+
+import pytest
+
+import repro.campaign.executor as executor_module
+import repro.experiments.parallel as parallel_module
+from repro.campaign import (
+    Campaign,
+    CampaignRunner,
+    ResultStore,
+    run_isolated,
+    spec_fingerprint,
+)
+from repro.experiments.configs import machine
+from repro.experiments.parallel import RunSpec, run_specs
+
+CONFIG = machine(4, instructions=3_000)
+
+GRID = dict(mixes=["Q1", "Q2"], schemes=["lru", "dip"], seeds=[0])  # 4 specs
+
+
+def _counting(monkeypatch, module):
+    """Patch ``module.run_workload`` to count invocations (serial path)."""
+    calls = []
+    original = module.run_workload
+
+    def counted(*args, **kwargs):
+        calls.append(args)
+        return original(*args, **kwargs)
+
+    monkeypatch.setattr(module, "run_workload", counted)
+    return calls
+
+
+class TestResume:
+    def test_interrupted_campaign_resumes_remainder(self, tmp_path, monkeypatch):
+        """After k of n specs, a new campaign object executes exactly n-k."""
+        calls = _counting(monkeypatch, executor_module)
+        camp = Campaign.grid(tmp_path / "s", CONFIG, **GRID)
+        first = camp.run(jobs=1, limit=1)  # interrupted after k=1 of n=4
+        assert first.executed == 1 and first.remaining == 3
+        assert len(calls) == 1
+
+        resumed = Campaign.load(tmp_path / "s")  # from the store alone
+        assert resumed.config == camp.config
+        assert resumed.specs == camp.specs
+        second = resumed.run(jobs=1)
+        assert second.executed == 3  # exactly n - k
+        assert second.skipped == 1
+        assert len(calls) == 4
+        assert resumed.status().done
+
+    def test_completed_campaign_performs_zero_simulations(self, tmp_path, monkeypatch):
+        camp = Campaign.grid(tmp_path / "s", CONFIG, **GRID)
+        first = camp.run(jobs=1)
+        assert first.executed == 4
+
+        calls = _counting(monkeypatch, executor_module)
+        again = Campaign.load(tmp_path / "s").run(jobs=1)
+        assert len(calls) == 0  # no simulation at all
+        assert again.executed == 0 and again.skipped == 4
+        # Field-for-field equal to the original run's results.
+        assert again.results == first.results
+
+    def test_duplicate_specs_execute_once(self, tmp_path, monkeypatch):
+        calls = _counting(monkeypatch, executor_module)
+        spec = RunSpec(mix="Q1", scheme="lru")
+        camp = Campaign(tmp_path / "s", CONFIG, [spec, spec, spec])
+        run = camp.run(jobs=1)
+        assert len(calls) == 1
+        assert run.executed == 1
+        assert run.results[0] == run.results[1] == run.results[2]
+
+    def test_load_without_manifest_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            Campaign.load(tmp_path / "nothing")
+
+
+class TestFaultIsolation:
+    BAD = RunSpec(mix="Q1", scheme="no-such-scheme")
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_failure_does_not_abort_other_specs(self, tmp_path, jobs):
+        specs = [RunSpec(mix="Q1", scheme="lru"), self.BAD, RunSpec(mix="Q2", scheme="lru")]
+        camp = Campaign(tmp_path / f"s{jobs}", CONFIG, specs, retries=0)
+        run = camp.run(jobs=jobs)
+        assert run.executed == 2 and run.failed == 1
+        assert run.results[0] is not None and run.results[2] is not None
+        assert run.results[1] is None
+        [failure] = run.failures
+        assert failure.error_type == "KeyError"
+        assert "no-such-scheme" in failure.message
+        # The failure is typed, persisted, and visible after reopening.
+        [stored] = Campaign.load(tmp_path / f"s{jobs}").failures()
+        assert stored.error_type == "KeyError"
+        assert stored.attempts == 1
+
+    def test_bounded_retries_each_in_fresh_worker(self, tmp_path):
+        camp = Campaign(tmp_path / "s", CONFIG, [self.BAD], retries=2)
+        run = camp.run(jobs=2)
+        [failure] = run.failures
+        assert failure.attempts == 3  # 1 + 2 retries
+
+    def test_failed_spec_retried_on_next_run(self, tmp_path):
+        camp = Campaign(tmp_path / "s", CONFIG, [self.BAD], retries=0)
+        camp.run(jobs=1)
+        assert camp.status().failed == 1
+        # A stored failure is not a result: the next run attempts it again.
+        rerun = Campaign.load(tmp_path / "s").run(jobs=1)
+        assert rerun.failed == 1 and rerun.skipped == 0
+
+    def test_timeout_kills_hung_spec(self, tmp_path):
+        hung = RunSpec(mix="Q1", scheme="lru", instructions=500_000_000)
+        ok = RunSpec(mix="Q1", scheme="lru")
+        camp = Campaign(tmp_path / "s", CONFIG, [hung, ok], retries=0, timeout=1.0)
+        run = camp.run(jobs=2)
+        assert run.executed == 1 and run.failed == 1
+        [failure] = run.failures
+        assert failure.timed_out
+        assert failure.error_type == "Timeout"
+
+    def test_isolated_results_match_plain_run_specs(self, tmp_path):
+        """Fault isolation must not change what a run computes."""
+        specs = [RunSpec(mix="Q1", scheme="lru"), RunSpec(mix="Q1", scheme="prism-h")]
+        plain = run_specs(specs, CONFIG, jobs=1)
+        outcomes = run_isolated(specs, CONFIG, jobs=2)
+        assert [o.result for o in outcomes] == plain
+
+
+class TestStoreBackedRunSpecs:
+    SPECS = [RunSpec(mix="Q1", scheme="lru"), RunSpec(mix="Q1", scheme="dip")]
+
+    def test_second_call_simulates_nothing(self, tmp_path, monkeypatch):
+        first = run_specs(self.SPECS, CONFIG, store=tmp_path / "s")
+        calls = _counting(monkeypatch, parallel_module)
+        second = run_specs(self.SPECS, CONFIG, store=tmp_path / "s")
+        assert len(calls) == 0
+        assert second == first
+
+    def test_env_variable_opt_in(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(parallel_module.STORE_ENV, str(tmp_path / "s"))
+        first = run_specs(self.SPECS, CONFIG)
+        calls = _counting(monkeypatch, parallel_module)
+        assert run_specs(self.SPECS, CONFIG) == first
+        assert len(calls) == 0
+
+    def test_store_results_equal_plain_results(self, tmp_path):
+        stored = run_specs(self.SPECS, CONFIG, store=tmp_path / "s")
+        plain = run_specs(self.SPECS, CONFIG)
+        assert stored == plain
+        # And the round-tripped copies on the next call still match.
+        assert run_specs(self.SPECS, CONFIG, store=tmp_path / "s") == plain
+
+    def test_run_seeds_on_store(self, tmp_path, monkeypatch):
+        from repro.experiments.multi_seed import run_seeds
+
+        sweep = run_seeds("Q1", CONFIG, "lru", seeds=(0, 1), store=tmp_path / "s")
+        calls = _counting(monkeypatch, parallel_module)
+        again = run_seeds("Q1", CONFIG, "lru", seeds=(0, 1), store=tmp_path / "s")
+        assert len(calls) == 0
+        assert again.results == sweep.results
+        assert again.metrics == sweep.metrics
+
+    def test_telemetry_request_upgrades_cached_result(self, tmp_path):
+        """A trace-less cached result does not satisfy a telemetry spec."""
+        store = tmp_path / "s"
+        plain = RunSpec(mix="Q1", scheme="prism-h")
+        traced = RunSpec(mix="Q1", scheme="prism-h", telemetry=True)
+        [first] = run_specs([plain], CONFIG, store=store)
+        assert first.telemetry is None
+        [second] = run_specs([traced], CONFIG, store=store)
+        assert second.telemetry is not None
+        # The richer result superseded the stored one (same fingerprint).
+        fp = spec_fingerprint(traced, CONFIG)
+        assert ResultStore(store).get(fp).telemetry is not None
+
+
+class TestStatusAndExport:
+    def test_status_counts(self, tmp_path):
+        camp = Campaign.grid(tmp_path / "s", CONFIG, **GRID)
+        camp.run(jobs=1, limit=2)
+        status = Campaign.load(tmp_path / "s").status()
+        assert (status.total, status.completed, status.failed, status.pending) == (4, 2, 0, 2)
+        assert not status.done
+        assert "2/4 completed" in status.describe()
+
+    def test_export_csv(self, tmp_path):
+        camp = Campaign.grid(tmp_path / "s", CONFIG, **GRID)
+        camp.run(jobs=1, limit=3)
+        path = camp.export_csv(tmp_path / "out.csv")
+        import csv
+
+        with open(path) as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 4
+        assert sum(1 for r in rows if r["status"] == "completed") == 3
+        assert sum(1 for r in rows if r["status"] == "pending") == 1
+        done = next(r for r in rows if r["status"] == "completed")
+        assert float(done["antt"]) > 0
+        assert done["fingerprint"]
+
+    def test_export_jsonl_carries_full_results(self, tmp_path):
+        import json
+
+        from repro.campaign.store import result_from_dict
+
+        camp = Campaign.grid(tmp_path / "s", CONFIG, mixes=["Q1"],
+                             schemes=["lru"], seeds=[0])
+        run = camp.run(jobs=1)
+        path = camp.export(tmp_path / "out.jsonl")
+        [line] = open(path).read().splitlines()
+        record = json.loads(line)
+        assert record["status"] == "completed"
+        assert result_from_dict(record["result"]) == run.results[0]
+
+    def test_export_unknown_format(self, tmp_path):
+        camp = Campaign.grid(tmp_path / "s", CONFIG, mixes=["Q1"],
+                             schemes=["lru"], seeds=[0])
+        with pytest.raises(ValueError):
+            camp.export(tmp_path / "out.bin", fmt="parquet")
+
+
+class TestRunnerDirect:
+    def test_runner_progress_reports_completion_and_failure(self, tmp_path):
+        messages = []
+        runner = CampaignRunner(tmp_path / "s", CONFIG, jobs=1, retries=0)
+        runner.run(
+            [RunSpec(mix="Q1", scheme="lru"), RunSpec(mix="Q1", scheme="bogus")],
+            progress=messages.append,
+        )
+        assert len(messages) == 2
+        assert any("FAILED" in m for m in messages)

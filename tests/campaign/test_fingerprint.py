@@ -1,0 +1,106 @@
+"""Fingerprint stability and canonicalisation guarantees.
+
+The fingerprint is a *content address*: stores written today must still be
+readable by tomorrow's checkout, so the digest for a reference spec is
+pinned here byte for byte. If this test fails, either restore the
+canonicalisation rules or bump ``FINGERPRINT_VERSION`` (never let old and
+new rules share a version).
+"""
+
+from repro.campaign.fingerprint import (
+    FINGERPRINT_VERSION,
+    canonical_payload,
+    spec_fingerprint,
+)
+from repro.experiments.configs import machine
+from repro.experiments.parallel import RunSpec
+
+CONFIG = machine(4, instructions=3_000)
+
+#: The reference digest for (Q1, prism-h, seed 3, kwargs, the machine
+#: above) under FINGERPRINT_VERSION 1. Pinned: a silent change here would
+#: orphan every existing store.
+REFERENCE_SPEC = RunSpec(
+    mix="Q1", scheme="prism-h", seed=3, scheme_kwargs={"probability_bits": 6}
+)
+REFERENCE_DIGEST = "341bf5587edd2ed2c3d6658189ccd5c06b39cb027c3af60831593d819b3e89aa"
+
+
+class TestStability:
+    def test_reference_digest_is_pinned(self):
+        assert FINGERPRINT_VERSION == 1
+        assert spec_fingerprint(REFERENCE_SPEC, CONFIG) == REFERENCE_DIGEST
+
+    def test_deterministic_across_calls(self):
+        spec = RunSpec(mix="Q7", scheme="lru", seed=1)
+        assert spec_fingerprint(spec, CONFIG) == spec_fingerprint(spec, CONFIG)
+
+    def test_payload_is_versioned(self):
+        assert canonical_payload(REFERENCE_SPEC, CONFIG)["version"] == FINGERPRINT_VERSION
+
+
+class TestCanonicalisation:
+    def test_default_instructions_fold_into_effective(self):
+        """spec(None) and spec(config default) are the same run -> same key."""
+        implicit = RunSpec(mix="Q1", scheme="lru")
+        explicit = RunSpec(mix="Q1", scheme="lru", instructions=CONFIG.instructions)
+        assert spec_fingerprint(implicit, CONFIG) == spec_fingerprint(explicit, CONFIG)
+
+    def test_scheme_kwargs_order_irrelevant(self):
+        a = RunSpec(mix="Q1", scheme="prism-h",
+                    scheme_kwargs={"probability_bits": 6, "sample_shift": 2})
+        b = RunSpec(mix="Q1", scheme="prism-h",
+                    scheme_kwargs={"sample_shift": 2, "probability_bits": 6})
+        assert spec_fingerprint(a, CONFIG) == spec_fingerprint(b, CONFIG)
+
+    def test_empty_kwargs_equal_none(self):
+        a = RunSpec(mix="Q1", scheme="lru", scheme_kwargs=None)
+        b = RunSpec(mix="Q1", scheme="lru", scheme_kwargs={})
+        assert spec_fingerprint(a, CONFIG) == spec_fingerprint(b, CONFIG)
+
+    def test_mix_sequence_kinds_equal(self):
+        """A list or tuple of benchmark names canonicalises identically."""
+        names = ["179.art", "181.mcf", "179.art", "181.mcf"]
+        assert spec_fingerprint(RunSpec(mix=tuple(names)), CONFIG) == spec_fingerprint(
+            RunSpec(mix=list(names)), CONFIG
+        )
+
+    def test_telemetry_flag_excluded(self):
+        """Recording a trace observes a run; it does not change it."""
+        a = RunSpec(mix="Q1", scheme="lru", telemetry=False)
+        b = RunSpec(mix="Q1", scheme="lru", telemetry=True)
+        assert spec_fingerprint(a, CONFIG) == spec_fingerprint(b, CONFIG)
+
+
+class TestSensitivity:
+    """Everything the outcome depends on must move the digest."""
+
+    BASE = RunSpec(mix="Q1", scheme="lru", seed=0)
+
+    def _base(self):
+        return spec_fingerprint(self.BASE, CONFIG)
+
+    def test_mix(self):
+        assert spec_fingerprint(RunSpec(mix="Q2", scheme="lru"), CONFIG) != self._base()
+
+    def test_scheme(self):
+        assert spec_fingerprint(RunSpec(mix="Q1", scheme="dip"), CONFIG) != self._base()
+
+    def test_seed(self):
+        assert spec_fingerprint(RunSpec(mix="Q1", scheme="lru", seed=1), CONFIG) != self._base()
+
+    def test_instructions(self):
+        spec = RunSpec(mix="Q1", scheme="lru", instructions=5_000)
+        assert spec_fingerprint(spec, CONFIG) != self._base()
+
+    def test_scheme_kwargs(self):
+        spec = RunSpec(mix="Q1", scheme="lru", scheme_kwargs={"interval_len": 512})
+        assert spec_fingerprint(spec, CONFIG) != self._base()
+
+    def test_machine_geometry(self):
+        other = machine(4, instructions=3_000, assoc=8)
+        assert spec_fingerprint(self.BASE, other) != self._base()
+
+    def test_machine_core_count(self):
+        other = machine(8, instructions=3_000)
+        assert spec_fingerprint(self.BASE, other) != self._base()

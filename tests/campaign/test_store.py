@@ -1,0 +1,136 @@
+"""ResultStore round-trip and durability semantics."""
+
+import json
+
+import pytest
+
+from repro.campaign.fingerprint import spec_fingerprint
+from repro.campaign.store import (
+    FailedRun,
+    ResultStore,
+    result_from_dict,
+    result_to_dict,
+)
+from repro.experiments.configs import machine
+from repro.experiments.parallel import RunSpec
+from repro.experiments.runner import run_workload
+
+CONFIG = machine(4, instructions=3_000)
+
+
+@pytest.fixture(scope="module")
+def prism_result():
+    """A result rich in optional diagnostics (probabilities, stats...)."""
+    return run_workload("Q1", CONFIG, "prism-h", seed=1)
+
+
+@pytest.fixture(scope="module")
+def telemetry_result():
+    return run_workload("Q1", CONFIG, "prism-h", seed=1, telemetry=True)
+
+
+class TestRoundTrip:
+    def test_result_dict_round_trip_field_for_field(self, prism_result):
+        clone = result_from_dict(result_to_dict(prism_result))
+        assert clone == prism_result  # dataclass eq: every field, exactly
+
+    def test_round_trip_survives_json(self, prism_result):
+        text = json.dumps(result_to_dict(prism_result))
+        clone = result_from_dict(json.loads(text))
+        assert clone == prism_result
+
+    def test_telemetry_round_trips(self, telemetry_result):
+        clone = result_from_dict(result_to_dict(telemetry_result))
+        assert clone.telemetry is not None
+        assert clone.telemetry == telemetry_result.telemetry
+        assert clone == telemetry_result
+
+    def test_store_round_trip(self, tmp_path, prism_result):
+        spec = RunSpec(mix="Q1", scheme="prism-h", seed=1)
+        fp = spec_fingerprint(spec, CONFIG)
+        store = ResultStore(tmp_path / "s")
+        store.add_result(fp, spec, prism_result, wall_seconds=1.5)
+        reopened = ResultStore(tmp_path / "s")
+        assert fp in reopened
+        assert reopened.get(fp) == prism_result
+        stored = reopened.record_for(fp)
+        assert stored.spec == spec
+        assert stored.meta.wall_seconds == 1.5
+        assert stored.meta.repro_version
+        assert stored.meta.host
+
+    def test_trace_lands_next_to_store(self, tmp_path, telemetry_result):
+        spec = RunSpec(mix="Q1", scheme="prism-h", seed=1, telemetry=True)
+        fp = spec_fingerprint(spec, CONFIG)
+        store = ResultStore(tmp_path / "s")
+        store.add_result(fp, spec, telemetry_result)
+        trace = store.trace_path(fp)
+        assert trace.exists()
+        # The stored trace is byte-identical to a fresh write of the run.
+        fresh = tmp_path / "fresh.jsonl"
+        telemetry_result.telemetry.write(fresh)
+        assert trace.read_bytes() == fresh.read_bytes()
+
+
+class TestFailures:
+    SPEC = RunSpec(mix="Q1", scheme="nope", seed=0)
+
+    def _failure(self, fp):
+        return FailedRun(
+            fingerprint=fp,
+            spec=self.SPEC,
+            error_type="KeyError",
+            message="unknown scheme 'nope'",
+            traceback="Traceback ...",
+            attempts=2,
+            timed_out=False,
+        )
+
+    def test_failure_round_trip(self, tmp_path):
+        fp = spec_fingerprint(self.SPEC, CONFIG)
+        store = ResultStore(tmp_path / "s")
+        store.add_failure(self._failure(fp))
+        reopened = ResultStore(tmp_path / "s")
+        assert fp not in reopened  # failures are not results
+        failure = reopened.failure_for(fp)
+        assert failure == self._failure(fp)
+        assert "after 2 attempts" in failure.describe()
+
+    def test_result_supersedes_failure(self, tmp_path, prism_result):
+        spec = RunSpec(mix="Q1", scheme="prism-h", seed=1)
+        fp = spec_fingerprint(spec, CONFIG)
+        store = ResultStore(tmp_path / "s")
+        store.add_failure(self._failure(fp))
+        store.add_result(fp, spec, prism_result)
+        reopened = ResultStore(tmp_path / "s")
+        assert reopened.failure_for(fp) is None
+        assert reopened.get(fp) == prism_result
+
+
+class TestDurability:
+    def test_torn_trailing_line_is_skipped(self, tmp_path, prism_result):
+        """A SIGKILL mid-append must not poison the completed records."""
+        spec = RunSpec(mix="Q1", scheme="prism-h", seed=1)
+        fp = spec_fingerprint(spec, CONFIG)
+        store = ResultStore(tmp_path / "s")
+        store.add_result(fp, spec, prism_result)
+        with open(store.records_path, "a") as fh:
+            fh.write('{"record": "result", "fingerprint": "abc", "trunc')
+        reopened = ResultStore(tmp_path / "s")
+        assert len(reopened) == 1
+        assert reopened.get(fp) == prism_result
+
+    def test_last_record_wins(self, tmp_path, prism_result, telemetry_result):
+        spec = RunSpec(mix="Q1", scheme="prism-h", seed=1)
+        fp = spec_fingerprint(spec, CONFIG)
+        store = ResultStore(tmp_path / "s")
+        store.add_result(fp, spec, prism_result)
+        store.add_result(fp, spec, telemetry_result)
+        reopened = ResultStore(tmp_path / "s")
+        assert reopened.get(fp) == telemetry_result
+        assert reopened.get(fp).telemetry is not None
+
+    def test_empty_directory_is_a_valid_store(self, tmp_path):
+        store = ResultStore(tmp_path / "fresh")
+        assert len(store) == 0
+        assert store.failures() == []

@@ -38,6 +38,45 @@ class TestSummarise:
         assert a.overlaps(b)
         assert not a.overlaps(c)
 
+    def test_overlap_is_symmetric(self):
+        a = MetricSummary(1.0, 0.1, 0.9, 1.1, 5)
+        b = MetricSummary(1.05, 0.1, 0.95, 1.15, 5)
+        c = MetricSummary(2.0, 0.1, 1.9, 2.1, 5)
+        assert b.overlaps(a)
+        assert not c.overlaps(a)
+
+    def test_overlap_touching_intervals_counts(self):
+        """Closed-interval semantics: a shared endpoint is an overlap."""
+        a = MetricSummary(1.0, 0.1, 0.9, 1.1, 5)
+        b = MetricSummary(1.2, 0.1, 1.1, 1.3, 5)
+        assert a.overlaps(b)
+        assert b.overlaps(a)
+
+    def test_overlap_degenerate_points(self):
+        """n=1 summaries collapse to points; equality is the only overlap."""
+        point = MetricSummary(2.0, 0.0, 2.0, 2.0, 1)
+        same = MetricSummary(2.0, 0.0, 2.0, 2.0, 1)
+        other = MetricSummary(2.1, 0.0, 2.1, 2.1, 1)
+        wide = MetricSummary(2.5, 1.0, 1.5, 3.5, 5)
+        assert point.overlaps(same)
+        assert not point.overlaps(other)
+        assert point.overlaps(wide)  # point inside an interval
+        assert wide.overlaps(point)
+
+    def test_overlap_nested_intervals(self):
+        inner = MetricSummary(2.0, 0.05, 1.95, 2.05, 5)
+        outer = MetricSummary(2.0, 1.0, 1.0, 3.0, 5)
+        assert inner.overlaps(outer)
+        assert outer.overlaps(inner)
+
+    def test_zero_variance_values_collapse_ci(self):
+        """Identical samples: std 0, CI degenerates to the mean even
+        though n >= 2 takes the Student-t path."""
+        s = _summarise([3.5, 3.5, 3.5, 3.5], 0.95)
+        assert s.std == 0.0
+        assert s.ci_low == s.ci_high == s.mean == 3.5
+        assert s.n == 4
+
 
 class TestRunSeeds:
     def test_requires_seeds(self):
@@ -60,6 +99,16 @@ class TestRunSeeds:
         assert len(set(antts)) > 1
         assert sweep.metrics["antt"].std / sweep.metrics["antt"].mean < 0.2
 
+    def test_single_seed_sweep_degenerates(self):
+        """n=1: every metric summary is a zero-width point at the value."""
+        sweep = run_seeds("Q1", CFG, "lru", seeds=(0,))
+        assert len(sweep.results) == 1
+        for metric, summary in sweep.metrics.items():
+            value = getattr(sweep.results[0], metric)
+            assert summary.n == 1
+            assert summary.std == 0.0
+            assert summary.ci_low == summary.mean == summary.ci_high == value
+
     def test_prism_vs_lru_separates_on_contended_mix(self):
         cfg = machine(4, instructions=150_000)
         a, b, separated = compare_with_confidence(
@@ -67,3 +116,24 @@ class TestRunSeeds:
         )
         assert a.metrics["antt"].mean < b.metrics["antt"].mean
         assert separated  # PriSM's win on Q7 is not seed noise
+
+
+class TestCompareWithConfidence:
+    def test_single_seed_separation_is_mean_inequality(self):
+        """With one seed both CIs are points, so "significant" reduces to
+        the means differing — the docstring's documented caveat."""
+        a, b, separated = compare_with_confidence(
+            "Q1", CFG, "prism-h", "lru", seeds=(0,), metric="antt"
+        )
+        assert a.metrics["antt"].n == b.metrics["antt"].n == 1
+        means_differ = a.metrics["antt"].mean != b.metrics["antt"].mean
+        assert separated == means_differ
+
+    def test_same_scheme_never_separates(self):
+        """A scheme against itself is identical per seed: zero-width gap,
+        overlapping (equal) intervals, not significant."""
+        a, b, separated = compare_with_confidence(
+            "Q1", CFG, "lru", "lru", seeds=(0, 1), metric="antt"
+        )
+        assert a.metrics["antt"] == b.metrics["antt"]
+        assert not separated

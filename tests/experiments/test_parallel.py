@@ -17,6 +17,7 @@ from repro.experiments.multi_seed import run_seeds
 from repro.experiments.parallel import (
     JOBS_ENV,
     RunSpec,
+    SpecRunError,
     parallel_compare_schemes,
     resolve_jobs,
     run_specs,
@@ -58,6 +59,67 @@ class TestResolveJobs:
     def test_zero_means_all_cpus(self):
         assert resolve_jobs(0) == (os.cpu_count() or 1)
         assert resolve_jobs(-1) >= 1
+
+    def test_resolution_matrix(self, monkeypatch):
+        """The full None/garbage/0/negative matrix, explicit and via env.
+
+        Documented semantics: ``None`` consults ``REPRO_JOBS`` (unset or
+        invalid means serial); any value ``<= 0`` — explicit or from the
+        environment — means all cores.
+        """
+        all_cpus = os.cpu_count() or 1
+        # explicit argument
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(0) == all_cpus
+        assert resolve_jobs(-1) == all_cpus
+        assert resolve_jobs(-128) == all_cpus
+        assert resolve_jobs(3) == 3
+        # environment variable (jobs=None)
+        for env_value, expected in [
+            ("garbage", 1),
+            ("", 1),
+            ("1.5", 1),
+            ("0", all_cpus),
+            ("-1", all_cpus),
+            ("-128", all_cpus),
+            ("4", 4),
+        ]:
+            monkeypatch.setenv(JOBS_ENV, env_value)
+            assert resolve_jobs(None) == expected, f"REPRO_JOBS={env_value!r}"
+        # an explicit value always beats the environment
+        monkeypatch.setenv(JOBS_ENV, "7")
+        assert resolve_jobs(2) == 2
+        assert resolve_jobs(0) == all_cpus
+
+
+class TestSpecRunError:
+    """Worker failures must name the spec that died (satellite fix)."""
+
+    GOOD = RunSpec(mix="Q1", scheme="lru", instructions=INSTR)
+    BAD = RunSpec(mix="Q2", scheme="no-such-scheme", instructions=INSTR)
+
+    def test_serial_failure_wrapped_with_spec_context(self):
+        with pytest.raises(SpecRunError) as excinfo:
+            run_specs([self.GOOD, self.BAD], CONFIG, jobs=1)
+        error = excinfo.value
+        assert error.spec == self.BAD
+        assert error.index == 1
+        assert error.error_type == "KeyError"
+        assert self.BAD.describe() in str(error)
+        assert "no-such-scheme" in str(error)
+        # The original exception is chained on the serial path.
+        assert isinstance(error.__cause__, KeyError)
+
+    def test_pool_failure_wrapped_with_spec_context(self):
+        with pytest.raises(SpecRunError) as excinfo:
+            run_specs([self.GOOD, self.BAD, self.GOOD], CONFIG, jobs=2)
+        error = excinfo.value
+        assert error.spec == self.BAD
+        assert error.index == 1
+        assert self.BAD.describe() in str(error)
+        # The worker's formatted traceback crosses the process boundary.
+        assert "KeyError" in error.worker_traceback
+        assert "no-such-scheme" in error.worker_traceback
 
 
 class TestRunSpecs:
