@@ -134,6 +134,7 @@ class Campaign:
         instructions: Optional[int] = None,
         scheme_kwargs: Optional[Dict[str, dict]] = None,
         telemetry: bool = False,
+        check: bool = False,
         retries: int = 1,
         timeout: Optional[float] = None,
     ) -> "Campaign":
@@ -147,6 +148,7 @@ class Campaign:
                 instructions=instructions,
                 scheme_kwargs=scheme_kwargs.get(scheme),
                 telemetry=telemetry,
+                check=check,
             )
             for mix in mixes
             for scheme in schemes

@@ -59,6 +59,7 @@ def cmd_campaign_run(args) -> int:
         schemes=args.schemes,
         seeds=args.seeds,
         telemetry=args.telemetry,
+        check=args.check,
         retries=args.retries,
         timeout=args.timeout,
     )

@@ -38,6 +38,12 @@ from repro.experiments.runner import WorkloadResult, run_workload
 
 __all__ = ["SpecError", "SpecOutcome", "iter_isolated", "run_isolated"]
 
+#: Error types that identify a *deterministic* failure: the run would fail
+#: identically in a fresh process, so retrying only burns attempts. An
+#: InvariantViolation (repro.check) means the engine's internal state went
+#: inconsistent — a bug to report, not a flake to retry.
+NON_RETRYABLE_ERRORS = ("InvariantViolation",)
+
 
 @dataclass(frozen=True)
 class SpecError:
@@ -74,6 +80,7 @@ def _run_one(spec: RunSpec, config: MachineConfig) -> WorkloadResult:
         instructions=spec.instructions,
         scheme_kwargs=spec.scheme_kwargs,
         telemetry=spec.telemetry,
+        check=spec.check,
     )
 
 
@@ -225,7 +232,10 @@ def iter_isolated(
                         attempts=attempt.attempt,
                         wall_seconds=elapsed,
                     )
-                elif attempt.attempt <= retries:
+                elif (
+                    attempt.attempt <= retries
+                    and error.error_type not in NON_RETRYABLE_ERRORS
+                ):
                     pending.append((attempt.index, attempt.spec, attempt.attempt + 1))
                 else:
                     yield SpecOutcome(
@@ -251,7 +261,10 @@ def _iter_in_process(
     for index, spec in enumerate(specs):
         error: Optional[SpecError] = None
         elapsed = 0.0
+        attempts = 0
+        outcome: Optional[SpecOutcome] = None
         for attempt in range(1, retries + 2):
+            attempts = attempt
             start = time.perf_counter()
             try:
                 result = _run_one(spec, config)
@@ -262,8 +275,10 @@ def _iter_in_process(
                     message=str(exc),
                     traceback=traceback.format_exc(),
                 )
+                if error.error_type in NON_RETRYABLE_ERRORS:
+                    break  # deterministic failure: retrying cannot help
                 continue
-            yield SpecOutcome(
+            outcome = SpecOutcome(
                 index=index,
                 spec=spec,
                 result=result,
@@ -272,15 +287,16 @@ def _iter_in_process(
                 wall_seconds=time.perf_counter() - start,
             )
             break
-        else:
-            yield SpecOutcome(
+        if outcome is None:
+            outcome = SpecOutcome(
                 index=index,
                 spec=spec,
                 result=None,
                 error=error,
-                attempts=retries + 1,
+                attempts=attempts,
                 wall_seconds=elapsed,
             )
+        yield outcome
 
 
 def run_isolated(

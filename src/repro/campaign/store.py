@@ -110,6 +110,7 @@ def spec_to_dict(spec: RunSpec) -> dict:
         "instructions": spec.instructions,
         "scheme_kwargs": dict(spec.scheme_kwargs) if spec.scheme_kwargs else None,
         "telemetry": spec.telemetry,
+        "check": spec.check,
     }
 
 
@@ -122,6 +123,7 @@ def spec_from_dict(data: dict) -> RunSpec:
         instructions=data["instructions"],
         scheme_kwargs=data["scheme_kwargs"],
         telemetry=data.get("telemetry", False),
+        check=data.get("check", False),
     )
 
 

@@ -1,0 +1,65 @@
+"""`repro-sim check` subcommand handlers.
+
+Parser wiring lives in :mod:`repro.cli`; this module holds the handlers so
+the reference simulator only imports when a check command actually runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+__all__ = ["cmd_check", "cmd_check_fuzz"]
+
+
+def cmd_check_fuzz(args) -> int:
+    from repro.check.differential import fuzz
+    from repro.check.reference import REFERENCE_SCHEMES
+
+    schemes = args.schemes or None
+    if schemes:
+        unknown = sorted(set(schemes) - set(REFERENCE_SCHEMES))
+        if unknown:
+            raise SystemExit(
+                f"no reference simulator for {unknown} "
+                f"(supported: {sorted(REFERENCE_SCHEMES)})"
+            )
+    progress = None if args.quiet else (lambda msg: print(f"  {msg}", flush=True))
+    start = time.time()
+    results = fuzz(cases=args.cases, seed=args.seed, schemes=schemes, progress=progress)
+    elapsed = time.time() - start
+
+    bad = [r for r in results if not r.ok]
+    accesses = sum(r.accesses_run for r in results)
+    intervals = sum(r.intervals for r in results)
+    by_scheme = {}
+    for r in results:
+        by_scheme[r.case.scheme] = by_scheme.get(r.case.scheme, 0) + 1
+    coverage = ", ".join(f"{s}={n}" for s, n in sorted(by_scheme.items()))
+    print(
+        f"{len(results)} cases ({coverage}), {accesses} accesses, "
+        f"{intervals} interval boundaries compared in {elapsed:.1f}s"
+    )
+    if not bad:
+        print("engine and reference agree on every case")
+        return 0
+    print(f"{len(bad)} DIVERGENT case{'s' if len(bad) != 1 else ''}:")
+    for result in bad:
+        case = result.case
+        print(
+            f"  scheme={case.scheme} cores={case.num_cores} "
+            f"sets={case.num_sets} assoc={case.assoc} seed={case.seed} "
+            f"accesses={case.accesses} kwargs={case.scheme_kwargs}"
+        )
+        for divergence in result.divergences:
+            print(f"    {divergence}")
+    return 1
+
+
+_HANDLERS = {
+    "fuzz": cmd_check_fuzz,
+}
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    return _HANDLERS[args.check_command](args)

@@ -1,0 +1,349 @@
+"""Differential fuzzing: the fast engine vs. the naive reference.
+
+A case is a (scheme, geometry, seed) triple plus an access-stream length;
+:func:`run_case` builds the optimised engine through the real scheme
+registry and the oracle through :func:`repro.check.reference.build_reference`,
+replays the same synthetic stream through both and demands **exact**
+equality:
+
+- per access: hit/miss, set index, evicted core and evicted block address;
+- per interval boundary: the installed eviction distribution ``E_i`` and
+  the allocation targets ``T_i``, float-for-float;
+- at end of run: occupancy, per-core hit/miss/eviction counters, a full
+  occupancy rescan, the replacement/fallback counters and (for DIP) the
+  PSEL state.
+
+Both simulators stand in for the same idealised hardware — the same
+seeded PRNG streams (via :mod:`repro.util.rng` labels) and the same float
+arithmetic — so any inequality at all is a bug in one of them, never
+tolerance noise. Comparison stops at the first divergence: everything
+after it is downstream corruption, not signal.
+
+PriSM-F and PriSM-Q read performance counters the raw cache does not
+have; :class:`SyntheticPerf` supplies deterministic per-core CPI/IPC
+figures so the fuzzer can exercise Algorithms 2 and 3 without dragging in
+the timing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.cache.cache import SharedCache
+from repro.cache.geometry import CacheGeometry
+from repro.check.reference import REFERENCE_SCHEMES, ReferenceCache, build_reference
+from repro.experiments.schemes import build_scheme
+from repro.util.rng import make_rng
+
+__all__ = [
+    "CaseResult",
+    "DifferentialCase",
+    "Divergence",
+    "SyntheticPerf",
+    "compare_run",
+    "fuzz",
+    "make_stream",
+    "random_case",
+    "run_case",
+]
+
+#: Schemes whose allocation policy reads performance counters.
+_NEEDS_PERF = ("prism-f", "prism-q")
+#: Schemes whose target IPC derives from stand-alone IPCs.
+_NEEDS_STANDALONE = ("prism-q",)
+
+
+class SyntheticPerf:
+    """Deterministic stand-in for the timing model's per-core counters.
+
+    Stateless: the per-core CPI, IPC and LLC-stall figures are fixed at
+    construction from ``make_rng(seed, "check-perf")``, so two instances
+    built from the same ``(num_cores, seed)`` — or one instance shared by
+    both simulators — always report identical values.
+    """
+
+    def __init__(self, num_cores: int, seed: int = 0) -> None:
+        rng = make_rng(seed, "check-perf")
+        self._cpi = [0.8 + 3.0 * rng.random() for _ in range(num_cores)]
+        self._llc_fraction = [0.1 + 0.7 * rng.random() for _ in range(num_cores)]
+
+    def cpi(self, core: int) -> float:
+        return self._cpi[core]
+
+    def ipc(self, core: int) -> float:
+        return 1.0 / self._cpi[core]
+
+    def llc_stall_cpi(self, core: int) -> float:
+        return self._cpi[core] * self._llc_fraction[core]
+
+
+@dataclass(frozen=True)
+class DifferentialCase:
+    """One fuzz case: scheme, geometry, stream shape and seeds."""
+
+    scheme: str
+    num_cores: int = 4
+    num_sets: int = 8
+    assoc: int = 4
+    seed: int = 0
+    accesses: int = 2000
+    scheme_kwargs: Optional[dict] = None
+
+    @property
+    def geometry(self) -> CacheGeometry:
+        return CacheGeometry(
+            self.num_sets * self.assoc * 64, block_bytes=64, assoc=self.assoc
+        )
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One engine-vs-reference disagreement.
+
+    ``index`` is the 0-based access at which it was detected, or ``-1``
+    for end-of-run state comparisons.
+    """
+
+    index: int
+    what: str
+    engine: object
+    reference: object
+
+    def __str__(self) -> str:
+        where = f"access {self.index}" if self.index >= 0 else "end of run"
+        return (
+            f"{self.what} diverged at {where}: "
+            f"engine {self.engine!r} != reference {self.reference!r}"
+        )
+
+
+@dataclass
+class CaseResult:
+    """Outcome of one differential case."""
+
+    case: DifferentialCase
+    divergences: List[Divergence] = field(default_factory=list)
+    accesses_run: int = 0
+    intervals: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+
+def make_stream(case: DifferentialCase) -> List[Tuple[int, int]]:
+    """Generate the case's ``(core, block_addr)`` access stream.
+
+    A three-way address mix per access — a small per-core hot pool (hits
+    and stable ownership), a shared pool (cross-core ownership churn, the
+    food of the fallback paths) and cold random addresses (misses on full
+    sets, so replacements and interval boundaries keep firing).
+    """
+    rng = make_rng(case.seed, "check-stream")
+    num_blocks = case.num_sets * case.assoc
+    hot_pools = [
+        [rng.getrandbits(20) for _ in range(max(1, num_blocks // case.num_cores))]
+        for _ in range(case.num_cores)
+    ]
+    shared_pool = [rng.getrandbits(20) for _ in range(max(1, num_blocks // 2))]
+    stream = []
+    for _ in range(case.accesses):
+        core = rng.randrange(case.num_cores)
+        region = rng.random()
+        if region < 0.45:
+            pool = hot_pools[core]
+            addr = pool[rng.randrange(len(pool))]
+        elif region < 0.75:
+            addr = shared_pool[rng.randrange(len(shared_pool))]
+        else:
+            addr = rng.getrandbits(20)
+        stream.append((core, addr))
+    return stream
+
+
+def compare_run(
+    cache: SharedCache,
+    reference: ReferenceCache,
+    stream: Sequence[Tuple[int, int]],
+) -> List[Divergence]:
+    """Replay ``stream`` through both simulators; return the divergences.
+
+    Stops at the first disagreement (at most one per-access/per-interval
+    divergence is reported; end-of-run checks only run on a clean replay,
+    where they can still catch counter drift the access results hide).
+    """
+    divergences: List[Divergence] = []
+    scheme = cache.scheme
+    ref_scheme = reference.scheme
+    intervals_seen = 0
+
+    for index, (core, addr) in enumerate(stream):
+        engine_result = cache.access(core, addr)
+        ref_result = reference.access(core, addr)
+        engine_tuple = (
+            engine_result.hit,
+            engine_result.set_index,
+            engine_result.evicted_core,
+            engine_result.evicted_addr,
+        )
+        if engine_tuple != ref_result.as_tuple():
+            divergences.append(
+                Divergence(index, "access", engine_tuple, ref_result.as_tuple())
+            )
+            return divergences
+        if cache.intervals_completed != reference.intervals_completed:
+            divergences.append(
+                Divergence(
+                    index,
+                    "intervals_completed",
+                    cache.intervals_completed,
+                    reference.intervals_completed,
+                )
+            )
+            return divergences
+        if ref_scheme is not None and reference.intervals_completed > intervals_seen:
+            intervals_seen = reference.intervals_completed
+            engine_e = list(scheme.eviction_probabilities)
+            if engine_e != ref_scheme.probabilities:
+                divergences.append(
+                    Divergence(
+                        index, "eviction_probabilities", engine_e, ref_scheme.probabilities
+                    )
+                )
+                return divergences
+            engine_t = list(scheme.targets)
+            if engine_t != ref_scheme.targets:
+                divergences.append(
+                    Divergence(index, "targets", engine_t, ref_scheme.targets)
+                )
+                return divergences
+
+    def check(what: str, engine_value, ref_value) -> None:
+        if engine_value != ref_value:
+            divergences.append(Divergence(-1, what, engine_value, ref_value))
+
+    check("occupancy", list(cache.occupancy), reference.occupancy)
+    check("scan_occupancy", cache.scan_occupancy(), reference.scan_occupancy())
+    check("hits", list(cache.stats.hits), reference.hits)
+    check("misses", list(cache.stats.misses), reference.misses)
+    check("evictions", list(cache.stats.evictions), reference.evictions)
+    if ref_scheme is not None:
+        check("replacements", scheme.manager.replacements, ref_scheme.replacements)
+        check(
+            "victim_not_found",
+            scheme.manager.victim_not_found,
+            ref_scheme.victim_not_found,
+        )
+    engine_psel = getattr(cache.policy, "psel", None)
+    ref_psel = getattr(reference.policy, "psel", None)
+    if engine_psel is not None or ref_psel is not None:
+        check("psel", engine_psel, ref_psel)
+    return divergences
+
+
+def _build_engine(case: DifferentialCase, standalone_ipcs, perf) -> SharedCache:
+    kwargs = dict(case.scheme_kwargs or {})
+    scheme, policy = build_scheme(
+        case.scheme, case.num_cores, standalone_ipcs, **kwargs
+    )
+    cache = SharedCache(case.geometry, case.num_cores, policy=policy)
+    if scheme is not None:
+        scheme.perf = perf
+        cache.set_scheme(scheme)
+    return cache
+
+
+def run_case(case: DifferentialCase) -> CaseResult:
+    """Build both simulators for ``case``, replay the stream, compare."""
+    perf = (
+        SyntheticPerf(case.num_cores, case.seed)
+        if case.scheme in _NEEDS_PERF
+        else None
+    )
+    standalone_ipcs = None
+    if case.scheme in _NEEDS_STANDALONE:
+        rng = make_rng(case.seed, "check-standalone")
+        standalone_ipcs = [0.5 + rng.random() for _ in range(case.num_cores)]
+
+    cache = _build_engine(case, standalone_ipcs, perf)
+    reference = build_reference(
+        case.scheme,
+        case.num_cores,
+        case.geometry,
+        standalone_ipcs=standalone_ipcs,
+        scheme_kwargs=case.scheme_kwargs,
+        perf=perf,
+    )
+    stream = make_stream(case)
+    divergences = compare_run(cache, reference, stream)
+    return CaseResult(
+        case=case,
+        divergences=divergences,
+        accesses_run=len(stream),
+        intervals=reference.intervals_completed,
+    )
+
+
+def random_case(rng, schemes: Optional[Sequence[str]] = None) -> DifferentialCase:
+    """Draw one random case from ``rng`` (a ``random.Random``)."""
+    schemes = tuple(schemes) if schemes else tuple(sorted(REFERENCE_SCHEMES))
+    name = schemes[rng.randrange(len(schemes))]
+    num_cores = rng.randrange(2, 7)
+    assoc = (2, 4, 8)[rng.randrange(3)]
+    num_sets = (2, 4, 8, 16)[rng.randrange(4)]
+    kwargs = {}
+    if name.startswith("prism"):
+        kwargs["seed"] = rng.getrandbits(16)
+        if rng.random() < 0.5:
+            kwargs["fallback"] = "paper"
+        if rng.random() < 0.3:
+            kwargs["probability_bits"] = (4, 8)[rng.randrange(2)]
+        if rng.random() < 0.3:
+            kwargs["bias_correction"] = False
+        if rng.random() < 0.3:
+            kwargs["sample_shift"] = 0
+    elif name == "dip":
+        kwargs["seed"] = rng.getrandbits(16)
+        if rng.random() < 0.3:
+            kwargs["leader_sets"] = 2
+    return DifferentialCase(
+        scheme=name,
+        num_cores=num_cores,
+        num_sets=num_sets,
+        assoc=assoc,
+        seed=rng.getrandbits(32),
+        accesses=rng.randrange(400, 2501),
+        scheme_kwargs=kwargs or None,
+    )
+
+
+def fuzz(
+    cases: int = 200,
+    seed: int = 0,
+    schemes: Optional[Sequence[str]] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[CaseResult]:
+    """Run ``cases`` random differential cases; return every result.
+
+    The case stream is fully determined by ``seed`` (via
+    ``make_rng(seed, "check-fuzz")``), so a failing campaign reproduces
+    exactly from its seed.
+    """
+    rng = make_rng(seed, "check-fuzz")
+    schemes = tuple(schemes) if schemes else tuple(sorted(REFERENCE_SCHEMES))
+    results = []
+    for index in range(cases):
+        case = random_case(rng, schemes=schemes)
+        result = run_case(case)
+        results.append(result)
+        if progress is not None:
+            if result.ok:
+                if (index + 1) % 25 == 0:
+                    progress(f"[{index + 1}/{cases}] ok so far")
+            else:
+                progress(
+                    f"[{index + 1}/{cases}] DIVERGED {case}: "
+                    + "; ".join(str(d) for d in result.divergences)
+                )
+    return results

@@ -1,0 +1,184 @@
+"""Runtime invariant checking for :class:`~repro.cache.cache.SharedCache`.
+
+The checker is an ordinary access monitor (wired in through
+``cache.add_monitor``, same hook the shadow tags use), so it needs no
+engine changes and costs nothing when not attached. Every ``every``
+accesses — and on demand via :meth:`InvariantChecker.check_now` — it
+audits the whole cache:
+
+``set-integrity``
+    every set's recency list is a consistent doubly-linked list, its tag
+    index and per-core counts match a scan, and resident + free ways sum
+    to the associativity (delegates to ``CacheSet.check_integrity``);
+``occupancy-recount``
+    the per-core ``C_i`` counters the analytical model reads equal a
+    full recount over every set;
+``occupancy-bounds``
+    total occupancy never exceeds the cache's block count;
+``distribution``
+    the installed eviction distribution ``E`` has one entry per core,
+    no negative entries, and sums to 1 (post-clamp renormalisation);
+``cumulative``
+    the manager's sampling prefix sums are non-decreasing and pinned to
+    exactly 1.0 at the top;
+``shadow-monotone``
+    the shadow-tag interval counters only ever grow within an interval
+    (they may reset only at an interval boundary).
+
+Violations raise :class:`InvariantViolation` — a subclass of
+``AssertionError``, so plain ``assert``-style handling works, but typed
+so the campaign executor can recognise a deterministic engine bug and
+skip pointless retries.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+__all__ = ["InvariantChecker", "InvariantViolation", "attach_checker"]
+
+
+class InvariantViolation(AssertionError):
+    """A cache-engine invariant failed.
+
+    Attributes:
+        invariant: short name of the violated invariant (see module
+            docstring for the catalogue).
+        detail: what the audit actually saw.
+    """
+
+    def __init__(self, invariant: str, detail: str) -> None:
+        super().__init__(f"invariant {invariant!r} violated: {detail}")
+        self.invariant = invariant
+        self.detail = detail
+
+
+class InvariantChecker:
+    """Access monitor that audits a cache's internal consistency.
+
+    Args:
+        cache: the :class:`~repro.cache.cache.SharedCache` to audit.
+        every: run a full audit every this many observed accesses. Each
+            audit is O(cache size), so the overhead knob is this period;
+            ``1`` audits after every access (see ``docs/testing.md`` for
+            measured overheads).
+    """
+
+    def __init__(self, cache, every: int = 1024) -> None:
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self.cache = cache
+        self.every = every
+        self.checks_run = 0
+        self._countdown = every
+        self._shadow_floor: Optional[Tuple[int, ...]] = None
+
+    # -- monitor hooks ------------------------------------------------------
+
+    def observe(self, core: int, set_index: int, tag: int, hit: bool) -> None:
+        self._countdown -= 1
+        if self._countdown <= 0:
+            self._countdown = self.every
+            self.check_now()
+
+    def end_interval(self) -> None:
+        # The shadow monitor registered before us has just zeroed its
+        # interval counters; forget the monotonicity floor with them.
+        self._shadow_floor = None
+
+    # -- the audit ----------------------------------------------------------
+
+    def check_now(self) -> None:
+        """Audit everything once; raises :class:`InvariantViolation`."""
+        self.checks_run += 1
+        cache = self.cache
+
+        for cset in cache.sets:
+            try:
+                cset.check_integrity()
+            except AssertionError as exc:
+                raise InvariantViolation("set-integrity", str(exc)) from None
+
+        scanned = cache.scan_occupancy()
+        occupancy = list(cache.occupancy)
+        if scanned != occupancy:
+            raise InvariantViolation(
+                "occupancy-recount",
+                f"counters {occupancy} != recount {scanned}",
+            )
+        total = sum(occupancy)
+        num_blocks = cache.geometry.num_blocks
+        if not 0 <= total <= num_blocks:
+            raise InvariantViolation(
+                "occupancy-bounds",
+                f"{total} blocks resident in a {num_blocks}-block cache",
+            )
+
+        manager = getattr(cache.scheme, "manager", None)
+        if manager is not None:
+            self._check_distribution(manager, cache.num_cores)
+
+        shadow = getattr(cache.scheme, "shadow", None)
+        if shadow is not None:
+            self._check_shadow_monotone(shadow)
+
+    def _check_distribution(self, manager, num_cores: int) -> None:
+        probabilities = manager.probabilities
+        if len(probabilities) != num_cores:
+            raise InvariantViolation(
+                "distribution",
+                f"{len(probabilities)} entries for {num_cores} cores",
+            )
+        if any(p < 0.0 for p in probabilities):
+            raise InvariantViolation(
+                "distribution", f"negative entry in {probabilities!r}"
+            )
+        total = sum(probabilities)
+        if abs(total - 1.0) > 1e-6:
+            raise InvariantViolation(
+                "distribution", f"E sums to {total!r}, expected 1"
+            )
+        cumulative = manager._cumulative
+        if any(b < a for a, b in zip(cumulative, cumulative[1:])):
+            raise InvariantViolation(
+                "cumulative", f"prefix sums decrease: {cumulative!r}"
+            )
+        if cumulative[-1] != 1.0:
+            raise InvariantViolation(
+                "cumulative", f"top prefix sum is {cumulative[-1]!r}, expected 1.0"
+            )
+
+    def _check_shadow_monotone(self, shadow) -> None:
+        snapshot = self._shadow_snapshot(shadow)
+        floor = self._shadow_floor
+        if floor is not None and any(
+            now < before for now, before in zip(snapshot, floor)
+        ):
+            raise InvariantViolation(
+                "shadow-monotone",
+                "an interval counter decreased mid-interval "
+                f"(before {floor}, now {snapshot})",
+            )
+        self._shadow_floor = snapshot
+
+    @staticmethod
+    def _shadow_snapshot(shadow) -> Tuple[int, ...]:
+        counters = []
+        for core in range(shadow.num_cores):
+            counters.extend(shadow.position_hits[core])
+            counters.append(shadow.shadow_misses[core])
+            counters.append(shadow.shared_hits[core])
+            counters.append(shadow.shared_misses[core])
+        return tuple(counters)
+
+
+def attach_checker(cache, every: int = 1024) -> InvariantChecker:
+    """Attach an :class:`InvariantChecker` to ``cache`` and return it.
+
+    Registers the checker as an access monitor (after any monitors the
+    scheme installed, so at interval boundaries the shadow counters reset
+    before the checker forgets its monotonicity floor).
+    """
+    checker = InvariantChecker(cache, every=every)
+    cache.add_monitor(checker)
+    return checker

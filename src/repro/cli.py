@@ -81,6 +81,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream the per-interval telemetry trace to PATH "
         "(.csv for CSV, anything else for JSON lines)",
     )
+    run_p.add_argument(
+        "--check",
+        action="store_true",
+        help="attach the runtime invariant checker to the shared cache; an "
+        "engine inconsistency aborts the run with InvariantViolation "
+        "(docs/testing.md)",
+    )
 
     cmp_p = sub.add_parser(
         "compare", help="run one mix under several schemes", parents=[jobs_parent]
@@ -170,6 +177,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="execute at most N pending specs this invocation")
     crun_p.add_argument("--telemetry", action="store_true",
                         help="record per-interval traces into the store")
+    crun_p.add_argument("--check", action="store_true",
+                        help="run every spec with the runtime invariant "
+                        "checker attached (failures are not retried)")
     crun_p.add_argument("--quiet", action="store_true")
 
     camp_sub.add_parser(
@@ -192,6 +202,26 @@ def build_parser() -> argparse.ArgumentParser:
     cexport_p.add_argument("-o", "--output", required=True)
     cexport_p.add_argument("--format", choices=["csv", "jsonl"], default=None,
                            help="default: by output extension")
+
+    check_p = sub.add_parser(
+        "check",
+        help="engine self-checks: differential fuzzing against the "
+        "reference simulator (docs/testing.md)",
+    )
+    check_sub = check_p.add_subparsers(dest="check_command", required=True)
+    fuzz_p = check_sub.add_parser(
+        "fuzz",
+        help="run random engine-vs-reference differential cases "
+        "(exit 1 on any divergence)",
+    )
+    fuzz_p.add_argument("--cases", type=int, default=200,
+                        help="number of random cases to run")
+    fuzz_p.add_argument("--seed", type=int, default=0,
+                        help="fuzz-stream seed (same seed = same cases)")
+    fuzz_p.add_argument("--schemes", nargs="*", default=None,
+                        help="restrict to these schemes "
+                        "(default: every reference scheme)")
+    fuzz_p.add_argument("--quiet", action="store_true")
     return parser
 
 
@@ -204,6 +234,7 @@ def _run_options(args, progress=None, telemetry=False) -> RunOptions:
         progress=progress,
         telemetry=telemetry,
         store=getattr(args, "store", None),
+        check=getattr(args, "check", False),
     )
 
 
@@ -412,6 +443,12 @@ def cmd_campaign(args) -> int:
     return handler(args)
 
 
+def cmd_check(args) -> int:
+    from repro.check.cli import cmd_check as handler
+
+    return handler(args)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command != "campaign":
@@ -434,6 +471,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "report": cmd_report,
         "characterize": cmd_characterize,
         "campaign": cmd_campaign,
+        "check": cmd_check,
     }
     try:
         return handlers[args.command](args)

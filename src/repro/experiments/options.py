@@ -52,6 +52,12 @@ class RunOptions:
             grids executed under these options skip runs the store
             already holds and persist new ones (``None`` = no store
             unless ``REPRO_STORE`` is set).
+        check: attach the cache-engine invariant checker
+            (:func:`repro.check.attach_checker`) to every shared cache the
+            run builds; an inconsistency raises
+            :class:`~repro.check.InvariantViolation` instead of silently
+            corrupting results. Off by default (it audits the whole cache
+            periodically — see ``docs/testing.md`` for the overhead).
     """
 
     instructions: Optional[int] = None
@@ -61,6 +67,7 @@ class RunOptions:
     telemetry: object = False
     standalone_cache: object = None
     store: Optional[str] = None
+    check: bool = False
 
 
 def resolve_run_options(

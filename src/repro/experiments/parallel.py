@@ -80,6 +80,11 @@ class RunSpec:
     #: deterministic dataclasses, so they pickle back from workers and a
     #: parallel trace stays bit-identical to the serial one.
     telemetry: bool = False
+    #: Run with the cache-engine invariant checker attached
+    #: (:func:`repro.check.attach_checker`). Observing only — a checked
+    #: run produces the same result as an unchecked one, or raises
+    #: :class:`~repro.check.InvariantViolation`.
+    check: bool = False
 
     def describe(self) -> str:
         return f"{self.mix} / {self.scheme} / seed {self.seed}"

@@ -254,6 +254,7 @@ def run_workload(
     telemetry: Union[bool, TelemetryRecorder] = False,
     standalone_cache: Optional[StandaloneIPCCache] = None,
     options=None,
+    check: bool = False,
 ) -> WorkloadResult:
     """Run one mix under one scheme and report the paper's metrics.
 
@@ -273,8 +274,12 @@ def run_workload(
         standalone_cache: where to memoise the ``IPC^SP`` runs (default:
             the process-wide :data:`DEFAULT_STANDALONE_CACHE`).
         options: a :class:`~repro.experiments.options.RunOptions`; supplies
-            ``seed``/``instructions``/``telemetry``/``standalone_cache``
-            for any of those arguments left at its default above.
+            ``seed``/``instructions``/``telemetry``/``standalone_cache``/
+            ``check`` for any of those arguments left at its default above.
+        check: attach the invariant checker
+            (:func:`repro.check.attach_checker`) to the shared cache and
+            audit it once more after the run; raises
+            :class:`~repro.check.InvariantViolation` on any inconsistency.
     """
     if options is not None:
         if seed == 0:
@@ -285,6 +290,8 @@ def run_workload(
             telemetry = options.telemetry
         if standalone_cache is None:
             standalone_cache = options.standalone_cache
+        if check is False:
+            check = options.check
     label, profiles = _resolve_mix(mix)
     if len(profiles) != config.num_cores:
         raise ValueError(
@@ -303,6 +310,12 @@ def run_workload(
     cache = SharedCache(config.geometry, config.num_cores, policy=policy)
     if scheme_obj is not None:
         cache.set_scheme(scheme_obj)
+    checker = None
+    if check:
+        # Imported lazily: unchecked runs never touch the check package.
+        from repro.check.invariants import attach_checker
+
+        checker = attach_checker(cache)
     recorder: Optional[TelemetryRecorder] = None
     if telemetry:
         recorder = (
@@ -317,6 +330,8 @@ def run_workload(
         telemetry=recorder,
     )
     result = system.run(instructions)
+    if checker is not None:
+        checker.check_now()
 
     mp_ipcs = [c.ipc for c in result.cores]
     return WorkloadResult(

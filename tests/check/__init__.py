@@ -1,0 +1,1 @@
+"""Tests for the repro.check subsystem (reference oracle, fuzzer, checker)."""

@@ -1,0 +1,188 @@
+"""Runtime invariant checker: clean runs pass, every corruption is caught.
+
+Each invariant in the checker's catalogue gets a targeted sabotage test —
+the checker is only worth its overhead if a genuinely corrupted engine
+state cannot slip past it — plus wiring tests for ``run_workload(check=)``
+and the campaign executor's non-retryable handling.
+"""
+
+import pytest
+
+from repro.cache.cache import SharedCache
+from repro.cache.geometry import CacheGeometry
+from repro.check.invariants import InvariantChecker, InvariantViolation, attach_checker
+from repro.experiments.configs import machine
+from repro.experiments.parallel import RunSpec
+from repro.experiments.runner import run_workload
+from repro.experiments.schemes import build_scheme
+from repro.util.rng import make_rng
+
+GEOMETRY = CacheGeometry(8 << 10, 64, 8)  # 128 blocks, 16 sets
+NUM_CORES = 4
+
+
+def checked_cache(every=1):
+    scheme, policy = build_scheme("prism-h", NUM_CORES, None,
+                                  interval_len=64, sample_shift=1, seed=2)
+    cache = SharedCache(GEOMETRY, NUM_CORES, policy=policy)
+    cache.set_scheme(scheme)
+    checker = attach_checker(cache, every=every)
+    return cache, checker
+
+
+def drive(cache, accesses=600, seed=0):
+    rng = make_rng(seed, "invariant-test-stream")
+    for _ in range(accesses):
+        cache.access(rng.randrange(NUM_CORES), rng.getrandbits(16))
+
+
+class TestChecker:
+    def test_rejects_nonpositive_period(self):
+        cache, _ = checked_cache()
+        with pytest.raises(ValueError, match="every"):
+            InvariantChecker(cache, every=0)
+
+    def test_clean_run_passes(self):
+        cache, checker = checked_cache(every=1)
+        drive(cache, accesses=600)
+        assert checker.checks_run == 600  # every access audited
+        assert cache.intervals_completed > 0  # boundaries were crossed too
+
+    def test_period_throttles_audits(self):
+        cache, checker = checked_cache(every=100)
+        drive(cache, accesses=250)
+        assert checker.checks_run == 2
+
+    def test_catches_occupancy_counter_drift(self):
+        cache, checker = checked_cache()
+        drive(cache, accesses=200)
+        cache.occupancy[0] += 1
+        with pytest.raises(InvariantViolation) as excinfo:
+            checker.check_now()
+        assert excinfo.value.invariant == "occupancy-recount"
+
+    def test_catches_set_corruption(self):
+        cache, checker = checked_cache()
+        drive(cache, accesses=200)
+        cache.sets[0]._core_counts[0] += 1
+        with pytest.raises(InvariantViolation) as excinfo:
+            checker.check_now()
+        assert excinfo.value.invariant == "set-integrity"
+
+    def test_catches_negative_probability(self):
+        cache, checker = checked_cache()
+        drive(cache, accesses=200)
+        manager = cache.scheme.manager
+        manager.probabilities[0] -= 2.0  # bypasses set_distribution validation
+        with pytest.raises(InvariantViolation) as excinfo:
+            checker.check_now()
+        assert excinfo.value.invariant == "distribution"
+
+    def test_catches_unnormalised_distribution(self):
+        cache, checker = checked_cache()
+        drive(cache, accesses=200)
+        cache.scheme.manager.probabilities[0] += 0.5
+        with pytest.raises(InvariantViolation) as excinfo:
+            checker.check_now()
+        assert excinfo.value.invariant == "distribution"
+
+    def test_catches_unpinned_cumulative(self):
+        cache, checker = checked_cache()
+        drive(cache, accesses=200)
+        cache.scheme.manager._cumulative[-1] = 0.999
+        with pytest.raises(InvariantViolation) as excinfo:
+            checker.check_now()
+        assert excinfo.value.invariant == "cumulative"
+
+    def test_catches_shadow_counter_regression(self):
+        cache, checker = checked_cache()
+        drive(cache, accesses=200)
+        checker.check_now()  # establish the monotonicity floor
+        cache.scheme.shadow.shadow_misses[0] -= 1
+        with pytest.raises(InvariantViolation) as excinfo:
+            checker.check_now()
+        assert excinfo.value.invariant == "shadow-monotone"
+
+    def test_violation_is_typed_assertion_error(self):
+        error = InvariantViolation("occupancy-bounds", "129 blocks in 128")
+        assert isinstance(error, AssertionError)
+        assert error.invariant == "occupancy-bounds"
+        assert "occupancy-bounds" in str(error) and "129" in str(error)
+
+
+class TestRunnerWiring:
+    def test_checked_run_equals_unchecked_run(self):
+        config = machine(4, instructions=30_000)
+        plain = run_workload("Q1", config, "prism-h", seed=3)
+        checked = run_workload("Q1", config, "prism-h", seed=3, check=True)
+        assert plain.antt == checked.antt
+        assert plain.fairness == checked.fairness
+        assert plain.intervals == checked.intervals
+        assert [c.misses for c in plain.cores] == [c.misses for c in checked.cores]
+        assert plain.eviction_probabilities == checked.eviction_probabilities
+
+    def test_options_check_flag_is_honoured(self):
+        from repro.experiments.options import RunOptions
+
+        config = machine(4, instructions=20_000)
+        result = run_workload("Q1", config, "lru",
+                              options=RunOptions(check=True))
+        assert result.antt > 0  # completed under the checker
+
+
+class TestCampaignWiring:
+    def test_invariant_violation_is_registered_non_retryable(self):
+        from repro.campaign.executor import NON_RETRYABLE_ERRORS
+
+        assert "InvariantViolation" in NON_RETRYABLE_ERRORS
+
+    def test_in_process_does_not_retry_violations(self, monkeypatch):
+        from repro.campaign import executor
+
+        calls = {"n": 0}
+
+        def violate(spec, config):
+            calls["n"] += 1
+            raise InvariantViolation("occupancy-recount", "forced by test")
+
+        monkeypatch.setattr(executor, "_run_one", violate)
+        spec = RunSpec(mix="Q1", scheme="lru", seed=0, instructions=1000)
+        outcomes = list(executor.iter_isolated(
+            [spec], machine(4), jobs=1, retries=3
+        ))
+        assert len(outcomes) == 1
+        outcome = outcomes[0]
+        assert not outcome.ok
+        assert outcome.error.error_type == "InvariantViolation"
+        assert outcome.attempts == 1
+        assert calls["n"] == 1  # the three retries were skipped
+
+    def test_in_process_still_retries_ordinary_errors(self, monkeypatch):
+        from repro.campaign import executor
+
+        calls = {"n": 0}
+
+        def flake(spec, config):
+            calls["n"] += 1
+            raise ValueError("transient for test")
+
+        monkeypatch.setattr(executor, "_run_one", flake)
+        spec = RunSpec(mix="Q1", scheme="lru", seed=0, instructions=1000)
+        outcomes = list(executor.iter_isolated(
+            [spec], machine(4), jobs=1, retries=2
+        ))
+        assert len(outcomes) == 1
+        assert outcomes[0].error.error_type == "ValueError"
+        assert outcomes[0].attempts == 3
+        assert calls["n"] == 3
+
+    def test_spec_check_flag_round_trips_through_store(self):
+        from repro.campaign.store import spec_from_dict, spec_to_dict
+
+        spec = RunSpec(mix="Q1", scheme="prism-h", seed=1,
+                       instructions=1000, check=True)
+        assert spec_from_dict(spec_to_dict(spec)) == spec
+        # Legacy records predate the field and default to unchecked.
+        legacy = spec_to_dict(spec)
+        del legacy["check"]
+        assert spec_from_dict(legacy).check is False

@@ -1,0 +1,95 @@
+"""Property tests for the Eq. 1 inversion (Section 3.2).
+
+Hypothesis sweeps the clamp, degenerate-interval and renormalisation
+behaviour of :mod:`repro.core.eviction`: the derived ``E`` must always be
+a sampleable distribution whenever the inputs are themselves valid
+occupancy/target/miss vectors.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.eviction import (
+    derive_eviction_probabilities,
+    eviction_probability,
+    projected_occupancy,
+)
+
+fractions = st.floats(0.0, 1.0, allow_nan=False)
+weights = st.lists(st.floats(0.0, 10.0, allow_nan=False), min_size=1, max_size=8)
+sizes = st.integers(1, 1 << 16)
+
+
+def _normalized(raw):
+    total = sum(raw)
+    if total <= 0.0:
+        return [1.0 / len(raw)] * len(raw)
+    return [x / total for x in raw]
+
+
+@given(c=fractions, t=fractions, m=fractions, n=sizes, w=sizes)
+def test_single_core_probability_is_clamped(c, t, m, n, w):
+    e = eviction_probability(c, t, m, n, w)
+    assert 0.0 <= e <= 1.0
+
+
+@given(c=fractions, t=fractions, m=fractions, n=sizes, w=sizes)
+def test_unclamped_region_inverts_the_occupancy_model(c, t, m, n, w):
+    """Where no clamp binds, applying E for one interval lands on target."""
+    e = eviction_probability(c, t, m, n, w)
+    if 0.0 < e < 1.0:
+        tau = projected_occupancy(c, m, e, n, w)
+        assert tau == pytest.approx(t, abs=1e-9)
+
+
+@given(raw=st.tuples(weights, weights, weights), n=sizes, w=sizes)
+def test_targets_summing_to_one_yield_a_distribution(raw, n, w):
+    k = min(len(v) for v in raw)
+    c = [x / 10.0 for x in raw[0][:k]]  # occupancies need not sum to 1
+    t = _normalized(raw[1][:k])
+    m = _normalized(raw[2][:k])
+    e = derive_eviction_probabilities(c, t, m, n, w)
+    assert len(e) == k
+    assert all(p >= 0.0 for p in e)
+    assert sum(e) == pytest.approx(1.0)
+
+
+@given(w=st.integers(-5, 0))
+def test_degenerate_interval_is_rejected(w):
+    """W = 0 (no misses) leaves Eq. 1 undefined; the guard must fire."""
+    with pytest.raises(ValueError, match="interval"):
+        derive_eviction_probabilities([0.5], [0.5], [1.0], 64, w)
+
+
+@given(n=st.integers(-5, 0))
+def test_degenerate_cache_size_is_rejected(n):
+    with pytest.raises(ValueError, match="num_blocks"):
+        derive_eviction_probabilities([0.5], [0.5], [1.0], n, 64)
+
+
+def test_length_mismatch_is_rejected():
+    with pytest.raises(ValueError, match="length mismatch"):
+        derive_eviction_probabilities([0.5, 0.5], [1.0], [1.0], 64, 64)
+
+
+def test_everyone_below_target_falls_back_to_miss_pressure():
+    """All-clamped-to-zero E falls back to evicting in proportion to M."""
+    e = derive_eviction_probabilities(
+        [0.0, 0.0], [0.5, 0.5], [0.25, 0.75], num_blocks=6400, interval=64
+    )
+    assert e == [0.25, 0.75]
+
+
+def test_everyone_below_target_with_no_misses_is_uniform():
+    e = derive_eviction_probabilities(
+        [0.0, 0.0], [0.5, 0.5], [0.0, 0.0], num_blocks=6400, interval=64
+    )
+    assert e == [0.5, 0.5]
+
+
+@given(raw=st.tuples(weights, weights, weights), n=sizes, w=sizes)
+def test_unrenormalised_vector_is_elementwise_clamped(raw, n, w):
+    k = min(len(v) for v in raw)
+    c, t, m = ([x / 10.0 for x in v[:k]] for v in raw)
+    e = derive_eviction_probabilities(c, t, m, n, w, renormalize=False)
+    assert e == [eviction_probability(*args, n, w) for args in zip(c, t, m)]

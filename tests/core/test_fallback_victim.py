@@ -1,0 +1,142 @@
+"""Regression pins for the §3.1 fallback victim selection.
+
+When core-selection samples a core that owns no block in the accessed set,
+the paper's rule ("use the underlying replacement policy to select the
+first replacement candidate that belongs to a core with non-zero eviction
+probability") must:
+
+- skip candidates whose core has ``E_i == 0``, even at the LRU position;
+- fall back to the baseline (LRU) victim when *every* resident core has
+  ``E_i == 0``.
+
+Both the specialised recency-list selector (the hot path LRU/DIP use) and
+the generic materialised-order selector are pinned, plus the "resample"
+fallback's restriction to resident cores.
+"""
+
+import pytest
+
+from repro.cache.cache import SharedCache
+from repro.cache.geometry import CacheGeometry
+from repro.cache.replacement.lru import LRUPolicy
+from repro.core import HitMaxPolicy, PrismScheme
+from repro.core.manager import ProbabilisticCacheManager
+
+#: One 4-way set: every access lands in it, so residency is fully scripted.
+ONE_SET = CacheGeometry(4 * 64, block_bytes=64, assoc=4)
+
+A0, A1, A2, A3, A4 = (i * 64 for i in range(5))
+
+
+def scripted_cache(fallback):
+    """A full one-set cache: LRU->MRU order is [A0(c0), A1(c1), A2(c1), A3(c1)]."""
+    cache = SharedCache(ONE_SET, num_cores=3, policy=LRUPolicy())
+    cache.set_scheme(
+        PrismScheme(HitMaxPolicy(), interval_len=10_000, sample_shift=1,
+                    fallback=fallback, seed=0)
+    )
+    cache.access(0, A0)
+    for addr in (A1, A2, A3):
+        cache.access(1, addr)
+    return cache
+
+
+def pin_draws(manager, *values):
+    """Script the manager's PRNG (the selector pins the RNG object, not the
+    bound method, exactly so tests can do this)."""
+    draws = iter(values)
+    manager._rng.random = lambda: next(draws)
+
+
+class TestPaperFallback:
+    def test_skips_zero_probability_core_at_lru(self):
+        cache = scripted_cache("paper")
+        manager = cache.scheme.manager
+        # E: core 0 frozen, core 2 nearly never sampled but non-zero.
+        manager.set_distribution([0.0, 0.995, 0.005])
+        pin_draws(manager, 0.999)  # samples core 2, which owns nothing here
+        result = cache.access(2, A4)
+        assert not result.hit
+        # The LRU block (A0, core 0) has E=0 and must survive; the first
+        # candidate from a non-zero-E core is core 1's LRU-most block (A1).
+        assert result.evicted_core == 1
+        assert manager.victim_not_found == 1
+        assert cache.access(0, A0).hit  # core 0's block is still resident
+
+    def test_all_resident_cores_zero_falls_back_to_lru(self):
+        cache = scripted_cache("paper")
+        manager = cache.scheme.manager
+        # Only absent core 2 may be sampled: every resident core has E=0.
+        manager.set_distribution([0.0, 0.0, 1.0])
+        pin_draws(manager, 0.5)  # bisect([0, 0, 1], 0.5) -> core 2
+        result = cache.access(2, A4)
+        assert not result.hit
+        assert result.evicted_core == 0  # baseline LRU victim
+        assert manager.victim_not_found == 1
+
+
+class TestResampleFallback:
+    def test_resamples_among_resident_nonzero_cores(self):
+        cache = scripted_cache("resample")
+        manager = cache.scheme.manager
+        manager.set_distribution([0.0, 0.995, 0.005])
+        # First draw samples absent core 2; the redraw is restricted to
+        # resident cores with E > 0, which leaves only core 1.
+        pin_draws(manager, 0.999, 0.5)
+        result = cache.access(2, A4)
+        assert result.evicted_core == 1
+        assert manager.victim_not_found == 1
+
+    def test_all_resident_cores_zero_falls_back_to_lru(self):
+        cache = scripted_cache("resample")
+        manager = cache.scheme.manager
+        manager.set_distribution([0.0, 0.0, 1.0])
+        pin_draws(manager, 0.5)
+        result = cache.access(2, A4)
+        assert result.evicted_core == 0
+        assert manager.victim_not_found == 1
+
+
+class _StubBlock:
+    __slots__ = ("core",)
+
+    def __init__(self, core):
+        self.core = core
+
+
+class _StubPolicy:
+    """Non-recency-ordered policy with a scripted preference order."""
+
+    recency_ordered = False
+
+    def __init__(self, order):
+        self._order = order
+
+    def eviction_candidates(self, cset):
+        return list(self._order)
+
+
+class TestMaterialisedOrderFallback:
+    """The generic (non-recency) selector obeys the same paper rule."""
+
+    def test_skips_zero_probability_candidates(self):
+        manager = ProbabilisticCacheManager(4, fallback="paper")
+        manager.set_distribution([0.0, 0.6, 0.3, 0.1])
+        order = [_StubBlock(0), _StubBlock(1), _StubBlock(2)]
+        pin_draws(manager, 0.9999)  # samples core 3: absent from the order
+        victim = manager.select_victim(None, _StubPolicy(order))
+        assert victim is order[1]  # order[0] belongs to a zero-E core
+        assert manager.victim_not_found == 1
+
+    def test_all_zero_returns_baseline_choice(self):
+        manager = ProbabilisticCacheManager(4, fallback="paper")
+        manager.set_distribution([0.0, 0.0, 0.0, 1.0])
+        order = [_StubBlock(0), _StubBlock(1)]
+        pin_draws(manager, 0.5)  # samples core 3: absent
+        victim = manager.select_victim(None, _StubPolicy(order))
+        assert victim is order[0]
+
+
+def test_fallback_name_is_validated():
+    with pytest.raises(ValueError, match="fallback"):
+        ProbabilisticCacheManager(2, fallback="wishful")

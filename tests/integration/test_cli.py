@@ -19,6 +19,28 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["experiment", "fig99"])
 
+    def test_run_check_flag(self):
+        args = build_parser().parse_args(["run", "--mix", "Q7", "--check"])
+        assert args.check is True
+        assert build_parser().parse_args(["run", "--mix", "Q7"]).check is False
+
+    def test_campaign_run_check_flag(self):
+        args = build_parser().parse_args(
+            ["campaign", "run", "--store", "s", "--mixes", "Q1",
+             "--schemes", "lru", "--check"]
+        )
+        assert args.check is True
+
+    def test_check_fuzz_defaults(self):
+        args = build_parser().parse_args(["check", "fuzz"])
+        assert args.cases == 200
+        assert args.seed == 0
+        assert args.schemes is None
+
+    def test_check_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["check"])
+
 
 class TestCommands:
     def test_list_all(self, capsys):
@@ -96,6 +118,28 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "probability_bits" in out
         assert "vs LRU" in out
+
+    def test_run_with_check(self, capsys):
+        assert main(["run", "--mix", "Q1", "--instructions", "20000",
+                     "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "ANTT=" in out
+
+    def test_check_fuzz(self, capsys):
+        assert main(["check", "fuzz", "--cases", "4", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "4 cases" in out
+        assert "agree on every case" in out
+
+    def test_check_fuzz_scheme_filter(self, capsys):
+        assert main(["check", "fuzz", "--cases", "3", "--schemes", "lru",
+                     "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "lru=3" in out
+
+    def test_check_fuzz_rejects_unknown_scheme(self):
+        with pytest.raises(SystemExit, match="no reference simulator"):
+            main(["check", "fuzz", "--cases", "1", "--schemes", "ucp"])
 
     def test_experiment_with_csv(self, capsys, tmp_path):
         prefix = tmp_path / "fig12"
