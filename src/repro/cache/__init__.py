@@ -12,9 +12,14 @@ into:
   timestamp LRU, DIP (LIP/BIP with set dueling), SRRIP, random,
 - monitors — sampled per-core shadow tags with per-recency-position hit
   counters (:class:`~repro.cache.shadow.ShadowTagMonitor`), which double as
-  UCP's UMON utility monitors.
+  UCP's UMON utility monitors,
+- backends — the numpy batch engine (:class:`~repro.cache.vector.VectorCache`)
+  with its trace pre-encoder (:mod:`repro.cache.encode`) and the
+  :func:`~repro.cache.backends.build_cache` selector that falls back to the
+  classic engine for configurations the vector engine cannot represent.
 """
 
+from repro.cache.backends import BACKENDS, build_cache, resolve_backend
 from repro.cache.block import CacheBlock
 from repro.cache.cacheset import CacheSet
 from repro.cache.geometry import CacheGeometry
@@ -25,6 +30,7 @@ from repro.cache.shadow import ShadowTagMonitor
 
 __all__ = [
     "AccessResult",
+    "BACKENDS",
     "CacheBlock",
     "CacheGeometry",
     "CacheSet",
@@ -32,4 +38,6 @@ __all__ = [
     "IntervalHistory",
     "SharedCache",
     "ShadowTagMonitor",
+    "build_cache",
+    "resolve_backend",
 ]

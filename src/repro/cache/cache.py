@@ -362,6 +362,130 @@ class SharedCache:
             AccessResult, (False, set_index, evicted_core, evicted_addr)
         )
 
+    def access_many(self, cores, addrs=None, collect: bool = False):
+        """Replay many accesses through the classic engine.
+
+        Same contract as :meth:`repro.cache.vector.VectorCache.access_many`:
+        both backends consume the same pre-encoded stream, so a driver can
+        switch engines without re-encoding. The classic engine still
+        processes one access at a time, but the batch loop sheds the
+        per-call overhead (one ``_hot`` unpack and the geometry arithmetic
+        per batch instead of per access). Wiring must not change
+        mid-batch — exactly the assumption ``access`` already makes within
+        one call.
+
+        Args:
+            cores: an :class:`~repro.cache.encode.EncodedTrace`, or the
+                per-access core ids.
+            addrs: block addresses (required unless ``cores`` is already
+                an encoded trace).
+            collect: build a :class:`~repro.cache.vector.BatchResults`;
+                leave off on throughput-critical replays.
+
+        Returns:
+            A ``BatchResults`` when ``collect``, else ``None``.
+        """
+        from repro.cache.encode import EncodedTrace, encode_accesses
+
+        if isinstance(cores, EncodedTrace):
+            trace = cores
+        else:
+            if addrs is None:
+                raise TypeError("access_many needs addrs unless given an EncodedTrace")
+            trace = encode_accesses(cores, addrs, self.geometry)
+        n = len(trace)
+        hit_out = ec_out = ea_out = None
+        if collect:
+            hit_out = [False] * n
+            ec_out = [-1] * n
+            ea_out = [-1] * n
+        (
+            _set_mask,
+            tag_shift,
+            sets,
+            hits_l,
+            misses_l,
+            evictions_l,
+            _hit_results,
+            notify_access,
+            observers_at,
+            on_hit,
+            record_miss,
+            select_victim,
+            lru_victim,
+            insert_fill,
+            replace_fill,
+            policy_on_fill,
+            scheme_on_fill,
+            occupancy,
+            policy_victim,
+            interval_len,
+        ) = self._hot
+        # Plain-int lists iterate faster than numpy scalars in this loop.
+        cores_l = trace.cores.tolist()
+        sets_l = trace.set_indices.tolist()
+        tags_l = trace.tags.tolist()
+        for i in range(n):
+            core = cores_l[i]
+            set_index = sets_l[i]
+            tag = tags_l[i]
+            cset = sets[set_index]
+            if notify_access is not None:
+                notify_access(cset)
+            block = cset.lookup_tag(tag)
+            hit = block is not None
+            if observers_at is not None:
+                for observe in observers_at[set_index]:
+                    observe(core, set_index, tag, hit)
+            if hit:
+                hits_l[core] += 1
+                on_hit(cset, block, core)
+                if collect:
+                    hit_out[i] = True
+                continue
+            misses_l[core] += 1
+            if record_miss is not None:
+                record_miss(cset, core)
+            if not cset._free:
+                if lru_victim:
+                    victim = cset._tail.prev
+                elif select_victim is not None:
+                    victim = select_victim(cset, core)
+                else:
+                    victim = policy_victim(cset)
+                evicted_core = victim.core
+                occupancy[evicted_core] -= 1
+                evictions_l[evicted_core] += 1
+                if collect:
+                    ec_out[i] = evicted_core
+                    ea_out[i] = (victim.tag << tag_shift) | set_index
+                new_block = replace_fill(cset, victim, tag, core)
+            else:
+                new_block = insert_fill(cset, tag, core)
+            occupancy[core] += 1
+            if policy_on_fill is not None:
+                policy_on_fill(cset, new_block, core)
+            if scheme_on_fill is not None:
+                scheme_on_fill(cset, new_block, core)
+            if interval_len:
+                left = self._interval_left - 1
+                if left:
+                    self._interval_left = left
+                else:
+                    self._end_interval()
+        if not collect:
+            return None
+        import numpy as np
+
+        from repro.cache.vector import BatchResults
+
+        return BatchResults(
+            np.asarray(hit_out, dtype=bool),
+            trace.set_indices,
+            np.asarray(ec_out, dtype=np.int64),
+            np.asarray(ea_out, dtype=np.int64),
+        )
+
     def _end_interval(self) -> None:
         """Fire the allocation-policy interval: scheme first, then resets.
 

@@ -24,9 +24,16 @@ def cmd_check_fuzz(args) -> int:
                 f"no reference simulator for {unknown} "
                 f"(supported: {sorted(REFERENCE_SCHEMES)})"
             )
+    backend = getattr(args, "backend", "classic")
     progress = None if args.quiet else (lambda msg: print(f"  {msg}", flush=True))
     start = time.time()
-    results = fuzz(cases=args.cases, seed=args.seed, schemes=schemes, progress=progress)
+    results = fuzz(
+        cases=args.cases,
+        seed=args.seed,
+        schemes=schemes,
+        progress=progress,
+        backend=backend,
+    )
     elapsed = time.time() - start
 
     bad = [r for r in results if not r.ok]
@@ -38,10 +45,15 @@ def cmd_check_fuzz(args) -> int:
     coverage = ", ".join(f"{s}={n}" for s, n in sorted(by_scheme.items()))
     print(
         f"{len(results)} cases ({coverage}), {accesses} accesses, "
-        f"{intervals} interval boundaries compared in {elapsed:.1f}s"
+        f"{intervals} interval boundaries compared in {elapsed:.1f}s "
+        f"[backend={backend}]"
     )
     if not bad:
-        print("engine and reference agree on every case")
+        if backend == "vector":
+            print("vector engine agrees with the classic engine and the "
+                  "reference on every case")
+        else:
+            print("engine and reference agree on every case")
         return 0
     print(f"{len(bad)} DIVERGENT case{'s' if len(bad) != 1 else ''}:")
     for result in bad:

@@ -23,6 +23,13 @@ PriSM-F and PriSM-Q read performance counters the raw cache does not
 have; :class:`SyntheticPerf` supplies deterministic per-core CPI/IPC
 figures so the fuzzer can exercise Algorithms 2 and 3 without dragging in
 the timing model.
+
+The ``backend`` axis points the same machinery at the numpy batch engine:
+``run_case(case, backend="vector")`` certifies
+:class:`~repro.cache.vector.VectorCache` twice per case — batched (via
+``access_many`` with a case-derived chunk size) against the classic
+engine, then against the reference — with identical per-access,
+per-boundary and end-of-run equality demands.
 """
 
 from __future__ import annotations
@@ -41,6 +48,7 @@ __all__ = [
     "DifferentialCase",
     "Divergence",
     "SyntheticPerf",
+    "compare_batched",
     "compare_run",
     "fuzz",
     "make_stream",
@@ -242,6 +250,162 @@ def compare_run(
     return divergences
 
 
+class _BoundaryProbe:
+    """Telemetry stand-in capturing ``(E, T)`` at every interval boundary.
+
+    Both engines call ``record_interval`` from inside their boundary
+    handler, after the scheme reallocated and before
+    ``intervals_completed`` increments — so the snapshots carry exactly
+    the per-boundary state a per-access replay observes.
+    """
+
+    def __init__(self) -> None:
+        self.snapshots: List[tuple] = []
+
+    def note_alloc_seconds(self, seconds: float) -> None:
+        pass
+
+    def record_interval(self, cache) -> None:
+        scheme = cache.scheme
+        self.snapshots.append(
+            (
+                cache.intervals_completed + 1,
+                list(scheme.eviction_probabilities),
+                list(scheme.targets),
+            )
+        )
+
+
+def _result_tuple(result) -> tuple:
+    """(hit, set, evicted_core, evicted_addr) for either simulator's result."""
+    if hasattr(result, "as_tuple"):
+        return result.as_tuple()
+    return (result.hit, result.set_index, result.evicted_core, result.evicted_addr)
+
+
+def _scheme_et(sim) -> tuple:
+    """Current ``(E, T)`` of a simulator's scheme (engine or reference)."""
+    scheme = sim.scheme
+    if hasattr(scheme, "eviction_probabilities"):
+        return (list(scheme.eviction_probabilities), list(scheme.targets))
+    return (list(scheme.probabilities), list(scheme.targets))
+
+
+def _replay_oracle(oracle, stream: Sequence[Tuple[int, int]]):
+    """Per-access replay of an oracle (classic engine or reference).
+
+    Returns the per-access result tuples and the boundary snapshots in
+    the same shape :class:`_BoundaryProbe` records.
+    """
+    tuples = []
+    boundaries = []
+    seen = 0
+    has_scheme = oracle.scheme is not None
+    for core, addr in stream:
+        tuples.append(_result_tuple(oracle.access(core, addr)))
+        if has_scheme and oracle.intervals_completed > seen:
+            seen = oracle.intervals_completed
+            boundaries.append((seen,) + _scheme_et(oracle))
+    return tuples, boundaries
+
+
+def _end_state(sim) -> dict:
+    """End-of-run state of either simulator, keyed for comparison."""
+    state = {
+        "occupancy": list(sim.occupancy),
+        "scan_occupancy": list(sim.scan_occupancy()),
+        "intervals_completed": sim.intervals_completed,
+    }
+    stats = getattr(sim, "stats", None)
+    if stats is not None:
+        state["hits"] = list(stats.hits)
+        state["misses"] = list(stats.misses)
+        state["evictions"] = list(stats.evictions)
+    else:
+        state["hits"] = list(sim.hits)
+        state["misses"] = list(sim.misses)
+        state["evictions"] = list(sim.evictions)
+    scheme = sim.scheme
+    if scheme is not None:
+        manager = getattr(scheme, "manager", scheme)
+        state["replacements"] = manager.replacements
+        state["victim_not_found"] = manager.victim_not_found
+    psel = getattr(sim.policy, "psel", None)
+    if psel is not None:
+        state["psel"] = psel
+    return state
+
+
+def compare_batched(
+    engine,
+    oracle,
+    stream: Sequence[Tuple[int, int]],
+    label: str = "",
+    slabs: int = 3,
+) -> List[Divergence]:
+    """Batched engine vs per-access oracle: same checks as :func:`compare_run`.
+
+    The oracle (classic engine or reference) replays per access, snapshotting
+    ``E``/``T`` at each boundary; ``engine`` replays the same stream through
+    :meth:`access_many` in ``slabs`` batch calls (exercising state carry-over
+    between calls) with a boundary probe attached. Per-access results, the
+    ordered boundary snapshots, and the end-of-run state must all match
+    exactly.
+    """
+    from repro.cache.encode import encode_trace
+
+    o_tuples, o_bounds = _replay_oracle(oracle, stream)
+    probe = None
+    if engine.scheme is not None:
+        probe = _BoundaryProbe()
+        engine.set_telemetry(probe)
+    e_tuples = []
+    n = len(stream)
+    cut = max(1, n // max(1, slabs))
+    for start in range(0, n, cut):
+        out = engine.access_many(
+            encode_trace(stream[start : start + cut], engine.geometry),
+            collect=True,
+        )
+        e_tuples.extend(_result_tuple(r) for r in out)
+
+    divergences: List[Divergence] = []
+    for index, (engine_tuple, oracle_tuple) in enumerate(zip(e_tuples, o_tuples)):
+        if engine_tuple != oracle_tuple:
+            divergences.append(
+                Divergence(index, f"{label}access", engine_tuple, oracle_tuple)
+            )
+            return divergences
+    e_bounds = probe.snapshots if probe is not None else []
+    if len(e_bounds) != len(o_bounds):
+        divergences.append(
+            Divergence(-1, f"{label}interval boundaries", len(e_bounds), len(o_bounds))
+        )
+        return divergences
+    for (e_k, e_e, e_t), (o_k, o_e, o_t) in zip(e_bounds, o_bounds):
+        if e_k != o_k:
+            divergences.append(Divergence(-1, f"{label}interval index", e_k, o_k))
+            return divergences
+        if e_e != o_e:
+            divergences.append(
+                Divergence(-1, f"{label}eviction_probabilities@interval{e_k}", e_e, o_e)
+            )
+            return divergences
+        if e_t != o_t:
+            divergences.append(
+                Divergence(-1, f"{label}targets@interval{e_k}", e_t, o_t)
+            )
+            return divergences
+    engine_state = _end_state(engine)
+    oracle_state = _end_state(oracle)
+    for what in sorted(set(engine_state) & set(oracle_state)):
+        if engine_state[what] != oracle_state[what]:
+            divergences.append(
+                Divergence(-1, f"{label}{what}", engine_state[what], oracle_state[what])
+            )
+    return divergences
+
+
 def _build_engine(case: DifferentialCase, standalone_ipcs, perf) -> SharedCache:
     kwargs = dict(case.scheme_kwargs or {})
     scheme, policy = build_scheme(
@@ -254,8 +418,31 @@ def _build_engine(case: DifferentialCase, standalone_ipcs, perf) -> SharedCache:
     return cache
 
 
-def run_case(case: DifferentialCase) -> CaseResult:
-    """Build both simulators for ``case``, replay the stream, compare."""
+def _build_vector_engine(case: DifferentialCase, standalone_ipcs, perf):
+    from repro.cache.vector import VectorCache
+
+    kwargs = dict(case.scheme_kwargs or {})
+    scheme, policy = build_scheme(
+        case.scheme, case.num_cores, standalone_ipcs, **kwargs
+    )
+    if scheme is not None:
+        scheme.perf = perf
+    # A case-derived chunk so the fuzzer also sweeps batch granularity
+    # (tiny chunks maximise boundary/carry-over coverage).
+    chunk = None if case.seed % 3 == 0 else 2 + case.seed % 97
+    return VectorCache(
+        case.geometry, case.num_cores, policy=policy, scheme=scheme, chunk=chunk
+    )
+
+
+def run_case(case: DifferentialCase, backend: str = "classic") -> CaseResult:
+    """Build the simulators for ``case``, replay the stream, compare.
+
+    ``backend="classic"`` replays the classic engine against the
+    reference per access. ``backend="vector"`` certifies the vector
+    engine twice over: batched against the classic engine, then (on a
+    fresh engine) batched against the reference.
+    """
     perf = (
         SyntheticPerf(case.num_cores, case.seed)
         if case.scheme in _NEEDS_PERF
@@ -266,7 +453,7 @@ def run_case(case: DifferentialCase) -> CaseResult:
         rng = make_rng(case.seed, "check-standalone")
         standalone_ipcs = [0.5 + rng.random() for _ in range(case.num_cores)]
 
-    cache = _build_engine(case, standalone_ipcs, perf)
+    stream = make_stream(case)
     reference = build_reference(
         case.scheme,
         case.num_cores,
@@ -275,8 +462,20 @@ def run_case(case: DifferentialCase) -> CaseResult:
         scheme_kwargs=case.scheme_kwargs,
         perf=perf,
     )
-    stream = make_stream(case)
-    divergences = compare_run(cache, reference, stream)
+    if backend == "vector":
+        engine = _build_vector_engine(case, standalone_ipcs, perf)
+        classic = _build_engine(case, standalone_ipcs, perf)
+        divergences = compare_batched(engine, classic, stream, label="vs-classic ")
+        if not divergences:
+            engine = _build_vector_engine(case, standalone_ipcs, perf)
+            divergences = compare_batched(
+                engine, reference, stream, label="vs-reference "
+            )
+    elif backend == "classic":
+        cache = _build_engine(case, standalone_ipcs, perf)
+        divergences = compare_run(cache, reference, stream)
+    else:
+        raise ValueError(f"unknown backend {backend!r} (classic or vector)")
     return CaseResult(
         case=case,
         divergences=divergences,
@@ -323,19 +522,21 @@ def fuzz(
     seed: int = 0,
     schemes: Optional[Sequence[str]] = None,
     progress: Optional[Callable[[str], None]] = None,
+    backend: str = "classic",
 ) -> List[CaseResult]:
     """Run ``cases`` random differential cases; return every result.
 
     The case stream is fully determined by ``seed`` (via
     ``make_rng(seed, "check-fuzz")``), so a failing campaign reproduces
-    exactly from its seed.
+    exactly from its seed. ``backend`` selects the engine under test
+    (see :func:`run_case`); the drawn cases are identical either way.
     """
     rng = make_rng(seed, "check-fuzz")
     schemes = tuple(schemes) if schemes else tuple(sorted(REFERENCE_SCHEMES))
     results = []
     for index in range(cases):
         case = random_case(rng, schemes=schemes)
-        result = run_case(case)
+        result = run_case(case, backend=backend)
         results.append(result)
         if progress is not None:
             if result.ok:

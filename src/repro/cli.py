@@ -75,6 +75,13 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--seed", type=int, default=0)
     run_p.add_argument("--scale-factor", type=int, default=64, help="cache scaling divisor")
     run_p.add_argument(
+        "--backend",
+        choices=["classic", "vector"],
+        default="classic",
+        help="cache engine (results are certified bit-exact either way; "
+        "vector is the numpy batch engine, see docs/simulator.md)",
+    )
+    run_p.add_argument(
         "--telemetry-out",
         default=None,
         metavar="PATH",
@@ -221,6 +228,14 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz_p.add_argument("--schemes", nargs="*", default=None,
                         help="restrict to these schemes "
                         "(default: every reference scheme)")
+    fuzz_p.add_argument(
+        "--backend",
+        choices=["classic", "vector"],
+        default="classic",
+        help="engine under test: classic compares the object-model engine "
+        "against the reference; vector compares the numpy batch engine "
+        "against BOTH the classic engine and the reference",
+    )
     fuzz_p.add_argument("--quiet", action="store_true")
     return parser
 
@@ -235,6 +250,7 @@ def _run_options(args, progress=None, telemetry=False) -> RunOptions:
         telemetry=telemetry,
         store=getattr(args, "store", None),
         check=getattr(args, "check", False),
+        backend=getattr(args, "backend", "classic"),
     )
 
 

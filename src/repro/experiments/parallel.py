@@ -85,6 +85,11 @@ class RunSpec:
     #: run produces the same result as an unchecked one, or raises
     #: :class:`~repro.check.InvariantViolation`.
     check: bool = False
+    #: Cache engine, ``"classic"`` or ``"vector"``. The backends are
+    #: certified bit-exact (``repro-sim check fuzz --backend vector``),
+    #: so this is a speed knob only — campaign fingerprints exclude it
+    #: and a stored result satisfies a spec under either backend.
+    backend: str = "classic"
 
     def describe(self) -> str:
         return f"{self.mix} / {self.scheme} / seed {self.seed}"
@@ -161,6 +166,7 @@ def _run_indexed_spec(item):
             instructions=spec.instructions,
             scheme_kwargs=spec.scheme_kwargs,
             telemetry=spec.telemetry,
+            backend=spec.backend,
         )
     except Exception as exc:
         return index, None, (type(exc).__name__, str(exc), traceback.format_exc()), 0.0
@@ -227,6 +233,7 @@ def _execute_specs(
                     instructions=spec.instructions,
                     scheme_kwargs=spec.scheme_kwargs,
                     telemetry=spec.telemetry,
+                    backend=spec.backend,
                 )
             except Exception as exc:
                 raise SpecRunError(
@@ -356,6 +363,7 @@ def parallel_compare_schemes(
     progress=None,
     jobs: Optional[int] = None,
     telemetry: bool = False,
+    backend: str = "classic",
 ) -> Dict[str, Dict[str, WorkloadResult]]:
     """The (mixes × schemes) grid behind every figure, executed by the pool.
 
@@ -372,6 +380,7 @@ def parallel_compare_schemes(
             instructions=instructions,
             scheme_kwargs=scheme_kwargs.get(scheme),
             telemetry=telemetry,
+            backend=backend,
         )
         for mix in mixes
         for scheme in schemes

@@ -23,7 +23,7 @@ import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Union
 
-from repro.cache.cache import SharedCache
+from repro.cache.backends import build_cache
 from repro.cpu.memory import MemoryModel
 from repro.cpu.system import CoreResult, MultiCoreSystem, run_standalone
 from repro.experiments.configs import MachineConfig
@@ -255,6 +255,7 @@ def run_workload(
     standalone_cache: Optional[StandaloneIPCCache] = None,
     options=None,
     check: bool = False,
+    backend: str = "classic",
 ) -> WorkloadResult:
     """Run one mix under one scheme and report the paper's metrics.
 
@@ -280,6 +281,10 @@ def run_workload(
             (:func:`repro.check.attach_checker`) to the shared cache and
             audit it once more after the run; raises
             :class:`~repro.check.InvariantViolation` on any inconsistency.
+        backend: cache engine, ``"classic"`` or ``"vector"``; results are
+            certified bit-exact either way (``repro-sim check fuzz
+            --backend vector``). Configurations the vector engine cannot
+            represent fall back to classic with a ``RuntimeWarning``.
     """
     if options is not None:
         if seed == 0:
@@ -292,6 +297,8 @@ def run_workload(
             standalone_cache = options.standalone_cache
         if check is False:
             check = options.check
+        if backend == "classic":
+            backend = getattr(options, "backend", "classic")
     label, profiles = _resolve_mix(mix)
     if len(profiles) != config.num_cores:
         raise ValueError(
@@ -307,9 +314,23 @@ def run_workload(
     scheme_obj, policy = build_scheme(
         scheme, config.num_cores, sp_ipcs, **(scheme_kwargs or {})
     )
-    cache = SharedCache(config.geometry, config.num_cores, policy=policy)
-    if scheme_obj is not None:
-        cache.set_scheme(scheme_obj)
+    if check and backend != "classic":
+        # The invariant checker audits the classic object model (it walks
+        # CacheSet lists); a checked run always uses the classic engine.
+        warnings.warn(
+            "check=True audits the classic engine; ignoring backend="
+            f"{backend!r} for this run",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        backend = "classic"
+    cache, _ = build_cache(
+        config.geometry,
+        config.num_cores,
+        policy=policy,
+        scheme=scheme_obj,
+        backend=backend,
+    )
     checker = None
     if check:
         # Imported lazily: unchecked runs never touch the check package.

@@ -1,0 +1,88 @@
+"""Tests for backend selection (``repro.cache.backends``).
+
+``build_cache`` is the single place the classic/vector choice is made;
+these tests pin its contract: valid names resolve, unknown names fail
+loudly, unsupported vector configurations fall back to the classic engine
+with a ``RuntimeWarning`` (or raise under ``strict=True``), and the
+fallback re-binds the caller's policy/scheme objects intact.
+"""
+
+import random
+import warnings
+
+import pytest
+
+from repro.cache import BACKENDS, build_cache, resolve_backend
+from repro.cache.cache import SharedCache
+from repro.cache.geometry import CacheGeometry
+from repro.cache.replacement.srrip import SRRIPPolicy
+from repro.cache.vector import VectorCache, VectorUnsupported
+from repro.core import HitMaxPolicy
+from repro.core.prism import PrismScheme
+
+GEO = CacheGeometry(1 << 14, 64, 4)
+
+
+class TestResolveBackend:
+    def test_none_means_classic(self):
+        assert resolve_backend(None) == "classic"
+
+    def test_known_names_pass_through(self):
+        for name in BACKENDS:
+            assert resolve_backend(name) == name
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown cache backend"):
+            resolve_backend("turbo")
+
+
+class TestBuildCache:
+    def test_classic_default(self):
+        cache, used = build_cache(GEO, 4)
+        assert isinstance(cache, SharedCache)
+        assert used == "classic"
+
+    def test_classic_attaches_scheme(self):
+        scheme = PrismScheme(HitMaxPolicy(), seed=1, interval_len=257)
+        cache, used = build_cache(GEO, 4, scheme=scheme, backend="classic")
+        assert used == "classic"
+        assert cache.scheme is scheme
+
+    def test_vector_when_supported(self):
+        scheme = PrismScheme(HitMaxPolicy(), seed=1, interval_len=257)
+        cache, used = build_cache(GEO, 4, scheme=scheme, backend="vector")
+        assert isinstance(cache, VectorCache)
+        assert used == "vector"
+
+    def test_vector_fallback_warns_and_builds_classic(self):
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            cache, used = build_cache(
+                GEO, 4, policy=SRRIPPolicy(), backend="vector"
+            )
+        assert isinstance(cache, SharedCache)
+        assert used == "classic"
+
+    def test_strict_reraises_instead_of_falling_back(self):
+        with pytest.raises(VectorUnsupported):
+            build_cache(GEO, 4, policy=SRRIPPolicy(), backend="vector",
+                        strict=True)
+
+    def test_fallback_cache_is_functional(self):
+        """After the fallback, the classic cache runs with the same objects."""
+        scheme = PrismScheme(HitMaxPolicy(), seed=1, interval_len=129)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            cache, used = build_cache(
+                GEO, 4, policy=SRRIPPolicy(), scheme=scheme, backend="vector"
+            )
+        assert used == "classic"
+        assert cache.scheme is scheme
+        rng = random.Random(5)
+        for _ in range(900):
+            cache.access(rng.randrange(4), rng.randrange(GEO.num_blocks * 2))
+        assert sum(cache.stats.misses) > 0
+        assert cache.intervals_completed > 0
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown cache backend"):
+            build_cache(GEO, 4, backend="gpu")

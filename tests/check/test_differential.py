@@ -13,6 +13,8 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 from repro.check.differential import (
     DifferentialCase,
     _build_engine,
+    _build_vector_engine,
+    compare_batched,
     compare_run,
     fuzz,
     make_stream,
@@ -108,3 +110,57 @@ def test_sane_case_is_clean_before_sabotage():
     case = DifferentialCase(scheme="prism-h", seed=7, accesses=1500,
                             scheme_kwargs={"seed": 1})
     _assert_ok(run_case(case))
+
+
+class TestVectorBackend:
+    """``backend="vector"``: the batched engine under the same oracle.
+
+    The 200-case certification runs in CI (``repro-sim check fuzz
+    --backend vector``); this is the fast tier-1 slice of it.
+    """
+
+    @pytest.mark.parametrize("scheme", sorted(REFERENCE_SCHEMES))
+    def test_every_reference_scheme_agrees(self, scheme):
+        result = run_case(
+            DifferentialCase(scheme=scheme, seed=99, accesses=1200),
+            backend="vector",
+        )
+        _assert_ok(result)
+
+    def test_bounded_vector_fuzz_finds_no_divergence(self):
+        results = fuzz(cases=6, seed=5, backend="vector")
+        for result in results:
+            _assert_ok(result)
+        assert sum(r.intervals for r in results) > 0
+
+    def test_vector_fuzz_draws_the_same_cases_as_classic(self):
+        """The backend changes the engine under test, never the cases."""
+        vec = fuzz(cases=4, seed=11, backend="vector")
+        cls = fuzz(cases=4, seed=11, backend="classic")
+        assert [r.case for r in vec] == [r.case for r in cls]
+
+    def test_unknown_backend_rejected(self):
+        case = DifferentialCase(scheme="lru", seed=0, accesses=100)
+        with pytest.raises(ValueError, match="unknown backend"):
+            run_case(case, backend="gpu")
+
+    def test_compare_batched_has_teeth(self):
+        """Mismatched PriSM draw seeds must be caught access for access."""
+        case = DifferentialCase(scheme="prism-h", seed=7, accesses=1500,
+                                scheme_kwargs={"seed": 1})
+        skewed = DifferentialCase(scheme="prism-h", seed=7, accesses=1500,
+                                  scheme_kwargs={"seed": 2})
+        engine = _build_vector_engine(case, None, None)
+        classic = _build_engine(skewed, None, None)
+        divergences = compare_batched(engine, classic, make_stream(case))
+        assert divergences, "compare_batched missed a draw-stream mismatch"
+
+    def test_slab_count_does_not_change_the_verdict(self):
+        """State must carry over between access_many calls exactly."""
+        case = DifferentialCase(scheme="prism-h", seed=7, accesses=1500,
+                                scheme_kwargs={"seed": 1})
+        for slabs in (1, 5):
+            engine = _build_vector_engine(case, None, None)
+            classic = _build_engine(case, None, None)
+            assert compare_batched(engine, classic, make_stream(case),
+                                   slabs=slabs) == []

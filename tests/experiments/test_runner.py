@@ -173,3 +173,36 @@ class TestStandaloneCache:
         with pytest.warns(DeprecationWarning):
             clear_standalone_cache()
         assert len(DEFAULT_STANDALONE_CACHE) == 0
+
+
+class TestBackendSelection:
+    """run_workload's backend axis: bit-exact results, loud fallbacks."""
+
+    def test_vector_backend_matches_classic(self):
+        classic = run_workload("Q1", CFG, "prism-h")
+        vector = run_workload("Q1", CFG, "prism-h", backend="vector")
+        assert vector.antt == classic.antt
+        assert vector.fairness == classic.fairness
+        for a, b in zip(classic.cores, vector.cores):
+            assert (a.hits, a.misses, a.instructions) == (b.hits, b.misses, b.instructions)
+            assert a.ipc == b.ipc
+
+    def test_options_supply_backend(self):
+        explicit = run_workload("Q1", CFG, "dip", backend="vector")
+        via_options = run_workload(
+            "Q1", CFG, "dip", options=RunOptions(backend="vector")
+        )
+        assert via_options.antt == explicit.antt
+
+    def test_check_forces_classic(self):
+        """The invariant checker walks classic CacheSet lists; check wins."""
+        with pytest.warns(RuntimeWarning, match="check=True audits the classic"):
+            result = run_workload("Q1", CFG, "lru", backend="vector", check=True)
+        assert result.antt > 0
+
+    def test_unsupported_scheme_falls_back_loudly(self):
+        """UCP is not vectorisable: classic fallback plus a RuntimeWarning."""
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            fell_back = run_workload("Q1", CFG, "ucp", backend="vector")
+        classic = run_workload("Q1", CFG, "ucp")
+        assert fell_back.antt == classic.antt

@@ -36,6 +36,16 @@ class TestParser:
         assert args.cases == 200
         assert args.seed == 0
         assert args.schemes is None
+        assert args.backend == "classic"
+
+    def test_run_backend_flag(self):
+        args = build_parser().parse_args(["run", "--mix", "Q1",
+                                          "--backend", "vector"])
+        assert args.backend == "vector"
+        assert build_parser().parse_args(["run", "--mix", "Q1"]).backend == "classic"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--mix", "Q1",
+                                       "--backend", "turbo"])
 
     def test_check_requires_subcommand(self):
         with pytest.raises(SystemExit):
@@ -130,6 +140,19 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "4 cases" in out
         assert "agree on every case" in out
+
+    def test_check_fuzz_vector_backend(self, capsys):
+        assert main(["check", "fuzz", "--cases", "3", "--backend", "vector",
+                     "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "[backend=vector]" in out
+        assert "vector engine agrees" in out
+
+    def test_run_vector_backend(self, capsys):
+        assert main(["run", "--mix", "Q1", "--scheme", "prism-h",
+                     "--instructions", "20000", "--backend", "vector"]) == 0
+        out = capsys.readouterr().out
+        assert "ANTT=" in out
 
     def test_check_fuzz_scheme_filter(self, capsys):
         assert main(["check", "fuzz", "--cases", "3", "--schemes", "lru",
