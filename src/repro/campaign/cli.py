@@ -12,14 +12,14 @@ import argparse
 from repro.campaign.campaign import Campaign
 from repro.experiments.common import format_table
 from repro.experiments.configs import machine
-from repro.workloads.mixes import get_mix
+from repro.workloads.registry import resolve_workload
 
 __all__ = ["cmd_campaign"]
 
 
 def _grid_machine(args):
     """The machine for a campaign grid, with core count from the mixes."""
-    core_counts = {mix: len(get_mix(mix)) for mix in args.mixes}
+    core_counts = {mix: resolve_workload(mix).num_cores for mix in args.mixes}
     counts = set(core_counts.values())
     if len(counts) > 1:
         raise SystemExit(

@@ -39,6 +39,7 @@ from typing import Union
 
 from repro.experiments.configs import MachineConfig
 from repro.experiments.parallel import RunSpec
+from repro.workloads.registry import WorkloadSource, resolve_workload
 
 __all__ = ["FINGERPRINT_VERSION", "canonical_payload", "spec_fingerprint"]
 
@@ -47,9 +48,21 @@ __all__ = ["FINGERPRINT_VERSION", "canonical_payload", "spec_fingerprint"]
 FINGERPRINT_VERSION = 1
 
 
-def _canonical_mix(mix) -> Union[str, list]:
-    """A mix argument as hashable JSON: a name, or a list of names."""
+def _canonical_mix(mix) -> Union[str, list, dict]:
+    """A mix argument as hashable JSON.
+
+    Plain mix names stay bare strings and benchmark lists stay name lists
+    (byte-compatible with every fingerprint ever written); ``family:spec``
+    references and :class:`~repro.workloads.registry.WorkloadSource`
+    objects hash their full workload *identity* payload, so a result is
+    keyed by what the trace generator actually produces, not by the
+    reference that named it.
+    """
+    if isinstance(mix, WorkloadSource):
+        return mix.identity()
     if isinstance(mix, str):
+        if ":" in mix:
+            return resolve_workload(mix).identity()
         return mix
     names = []
     for item in mix:

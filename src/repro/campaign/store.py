@@ -38,6 +38,7 @@ from typing import Dict, List, Optional, Union
 from repro.cpu.system import CoreResult
 from repro.experiments.parallel import RunSpec
 from repro.experiments.runner import WorkloadResult
+from repro.metrics.tenancy import TenantSLOReport
 from repro.telemetry import FinishSample, IntervalSample, RunTelemetry
 
 __all__ = ["FailedRun", "RunMeta", "StoredResult", "ResultStore"]
@@ -172,12 +173,16 @@ def result_to_dict(result: WorkloadResult) -> dict:
         "telemetry": (
             _telemetry_to_dict(result.telemetry) if result.telemetry is not None else None
         ),
+        "tenant_slo": (
+            result.tenant_slo.to_dict() if result.tenant_slo is not None else None
+        ),
     }
     return data
 
 
 def result_from_dict(data: dict) -> WorkloadResult:
     telemetry = data.get("telemetry")
+    tenant_slo = data.get("tenant_slo")  # absent in pre-tenancy stores
     return WorkloadResult(
         mix=data["mix"],
         scheme=data["scheme"],
@@ -197,6 +202,9 @@ def result_from_dict(data: dict) -> WorkloadResult:
         quotas=data["quotas"],
         targets=data["targets"],
         telemetry=_telemetry_from_dict(telemetry) if telemetry is not None else None,
+        tenant_slo=(
+            TenantSLOReport.from_dict(tenant_slo) if tenant_slo is not None else None
+        ),
     )
 
 

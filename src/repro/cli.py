@@ -25,13 +25,10 @@ from repro.experiments.registry import EXPERIMENTS
 from repro.experiments.runner import run_workload
 from repro.experiments.schemes import SCHEMES
 from repro.workloads.mixes import MIXES, get_mix
+from repro.workloads.registry import resolve_workload
 from repro.workloads.spec import PROFILES
 
 __all__ = ["main", "build_parser"]
-
-
-def _mix_cores(mix: str) -> int:
-    return len(get_mix(mix))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -69,7 +66,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     run_p = sub.add_parser("run", help="run one mix under one scheme")
-    run_p.add_argument("--mix", required=True, help="mix name (e.g. Q7) or comma-separated benchmarks")
+    run_p.add_argument("--mix", required=True,
+                       help="mix name (e.g. Q7), workload reference "
+                       "(e.g. tenants:web8), or comma-separated benchmarks")
     run_p.add_argument("--scheme", default="prism-h", help="scheme registry name")
     run_p.add_argument("--instructions", type=int, default=None)
     run_p.add_argument("--seed", type=int, default=0)
@@ -150,6 +149,36 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--scheme", default="prism-h")
     sweep_p.add_argument("--instructions", type=int, default=None)
     sweep_p.add_argument("--seed", type=int, default=0)
+
+    ten_p = sub.add_parser(
+        "tenants",
+        help="multi-tenant web-cache scenario: per-tenant SLO scorecard "
+        "(docs/tenancy.md)",
+        parents=[jobs_parent],
+    )
+    ten_p.add_argument("--workload", default="web8",
+                       help="tenant preset (smoke4, web8) or a full "
+                       "tenants:<preset> reference")
+    ten_p.add_argument("--schemes", nargs="+", default=None,
+                       help="scheme registry names "
+                       "(default: lru cliff prism-h prism-f prism-q)")
+    ten_p.add_argument("--requests", type=int, default=None,
+                       help="total shared request budget "
+                       "(default: the machine instruction budget)")
+    ten_p.add_argument("--seed", type=int, default=0)
+    ten_p.add_argument("--scale-factor", type=int, default=64,
+                       help="cache scaling divisor")
+    ten_p.add_argument(
+        "--backend",
+        choices=["classic", "vector"],
+        default="classic",
+        help="cache engine for every run (results are certified bit-exact "
+        "either way)",
+    )
+    ten_p.add_argument("--json", default=None, metavar="PATH",
+                       help="also write the full result dict as JSON")
+    ten_p.add_argument("--csv", default=None,
+                       help="also export tables as CSV (path prefix)")
 
     camp_p = sub.add_parser(
         "campaign",
@@ -255,11 +284,12 @@ def _run_options(args, progress=None, telemetry=False) -> RunOptions:
 
 
 def _resolve(mix: str):
-    """Mix argument: a registry name or comma-separated benchmark names."""
+    """Mix argument: a registry name, a ``family:spec`` workload reference
+    (``tenants:web8``), or comma-separated benchmark names."""
     if "," in mix:
         names = [n.strip() for n in mix.split(",")]
         return names, len(names)
-    return mix, _mix_cores(mix)
+    return mix, resolve_workload(mix).num_cores
 
 
 def _print_run(result) -> None:
@@ -304,6 +334,12 @@ def cmd_list(args) -> int:
         print("mixes: " + ", ".join(
             f"{prefix}1-{prefix}{len(names)} ({len(get_mix(names[0]))}-core)"
             for prefix, names in sorted(counts.items())
+        ))
+        from repro.workloads.tenants import TENANT_PRESETS, get_tenant_workload
+
+        print("tenant workloads: " + ", ".join(
+            f"tenants:{name} ({get_tenant_workload(name).num_cores}-tenant)"
+            for name in sorted(TENANT_PRESETS)
         ))
     if args.what in ("all", "benchmarks"):
         print("benchmarks:")
@@ -453,6 +489,35 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_tenants(args) -> int:
+    from repro.experiments import multi_tenant
+
+    options = RunOptions(
+        instructions=args.requests,
+        seed=args.seed,
+        jobs=args.jobs,
+        store=args.store,
+    )
+    result = multi_tenant.run(
+        options=options,
+        workload=args.workload,
+        schemes=args.schemes or list(multi_tenant.DEFAULT_SCHEMES),
+        scale_factor=args.scale_factor,
+        backend=args.backend,
+    )
+    print(multi_tenant.format_result(result))
+    if args.json:
+        import json
+
+        with open(args.json, "w") as fh:
+            json.dump(result, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    if args.csv:
+        for path in export_csv(result, args.csv):
+            print(f"wrote {path}")
+    return 0
+
+
 def cmd_campaign(args) -> int:
     from repro.campaign.cli import cmd_campaign as handler
 
@@ -483,6 +548,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compare": cmd_compare,
         "experiment": cmd_experiment,
         "sweep": cmd_sweep,
+        "tenants": cmd_tenants,
         "cost": cmd_cost,
         "report": cmd_report,
         "characterize": cmd_characterize,

@@ -9,6 +9,7 @@ converts the targets to probabilities via Eq. 1.
 """
 
 from repro.core.allocation.base import AllocationContext, AllocationPolicy
+from repro.core.allocation.cliff import CliffAwarePolicy
 from repro.core.allocation.hitmax import HitMaxPolicy
 from repro.core.allocation.fairness import FairnessPolicy
 from repro.core.allocation.qos import QOSPolicy
@@ -20,6 +21,7 @@ __all__ = [
     "MultiQOSPolicy",
     "AllocationContext",
     "AllocationPolicy",
+    "CliffAwarePolicy",
     "HitMaxPolicy",
     "FairnessPolicy",
     "QOSPolicy",

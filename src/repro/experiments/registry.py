@@ -28,6 +28,7 @@ from repro.experiments import (
     fig11_evprob,
     fig12_kbit,
     fig13_victim_notfound,
+    multi_tenant,
     sec56_dip,
 )
 
@@ -75,6 +76,8 @@ EXPERIMENTS: Dict[str, Experiment] = {
                    fig13_victim_notfound.run, fig13_victim_notfound.format_result),
         Experiment("sec56", "PriSM over DIP replacement",
                    sec56_dip.run, sec56_dip.format_result),
+        Experiment("tenants", "Multi-tenant web cache: per-tenant SLO scorecard",
+                   multi_tenant.run, multi_tenant.format_result),
     ]
 }
 

@@ -8,9 +8,14 @@ metrics. Stand-alone runs use the same baseline replacement policy as the
 scheme under test (timestamp LRU for the Vantage comparison, DIP for the
 Section 5.6 study), matching the paper's normalisation.
 
+Workloads resolve through :func:`repro.workloads.resolve_workload`:
+mix names, benchmark lists, and ``"family:spec"`` references
+(``"tenants:web8"``) all work; tenant workloads dispatch to
+:func:`repro.tenancy.run_tenant_workload`, which returns the same
+:class:`WorkloadResult` with the ``tenant_slo`` scorecard attached.
+
 Scheme diagnostics are reported as typed optional fields on
-:class:`WorkloadResult` (``eviction_probabilities``, ``quotas``, ...);
-the old ``result.extra`` dict survives as a deprecated alias property.
+:class:`WorkloadResult` (``eviction_probabilities``, ``quotas``, ...).
 Pass ``telemetry=True`` (or a pre-built recorder, or ``options=``
 with :class:`~repro.experiments.options.RunOptions`) to attach a
 :class:`~repro.telemetry.TelemetryRecorder` and get the full
@@ -29,11 +34,11 @@ from repro.cpu.system import CoreResult, MultiCoreSystem, run_standalone
 from repro.experiments.configs import MachineConfig
 from repro.experiments.schemes import build_scheme
 from repro.metrics import antt, fairness, ipc_throughput, weighted_speedup
+from repro.metrics.tenancy import TenantSLOReport
 from repro.telemetry import RunTelemetry, TelemetryRecorder
 from repro.util.rng import derive_seed
 from repro.workloads.benchmark import BenchmarkProfile
-from repro.workloads.mixes import get_mix
-from repro.workloads.spec import get_profile
+from repro.workloads.registry import resolve_workload
 
 __all__ = [
     "WorkloadResult",
@@ -41,7 +46,6 @@ __all__ = [
     "standalone_ipcs",
     "StandaloneIPCCache",
     "DEFAULT_STANDALONE_CACHE",
-    "clear_standalone_cache",
 ]
 
 
@@ -83,17 +87,6 @@ class StandaloneIPCCache:
 DEFAULT_STANDALONE_CACHE = StandaloneIPCCache()
 
 
-def clear_standalone_cache() -> None:
-    """Deprecated: call ``DEFAULT_STANDALONE_CACHE.clear()`` instead."""
-    warnings.warn(
-        "clear_standalone_cache() is deprecated; use "
-        "DEFAULT_STANDALONE_CACHE.clear() or pass your own StandaloneIPCCache",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    DEFAULT_STANDALONE_CACHE.clear()
-
-
 @dataclass
 class WorkloadResult:
     """Everything a figure reproduction needs from one shared run.
@@ -102,7 +95,8 @@ class WorkloadResult:
     ``None`` unless the scheme under test exposes it (PriSM reports
     probabilities, way-partitioners report quotas, Vantage reports forced
     evictions/demotions). ``telemetry`` is populated only when the run was
-    made with ``telemetry=`` enabled.
+    made with ``telemetry=`` enabled, and ``tenant_slo`` only for
+    multi-tenant workloads (see :mod:`repro.tenancy`).
     """
 
     mix: str
@@ -123,6 +117,7 @@ class WorkloadResult:
     quotas: Optional[List[int]] = None
     targets: Optional[List[float]] = None
     telemetry: Optional[RunTelemetry] = None
+    tenant_slo: Optional[TenantSLOReport] = None
 
     def shared_ipcs(self) -> List[float]:
         return [c.ipc for c in self.cores]
@@ -134,42 +129,21 @@ class WorkloadResult:
         """``IPC^MP / IPC^SP`` of one core (1 = no slowdown)."""
         return self.cores[core].ipc / self.standalone[core]
 
-    @property
-    def extra(self) -> dict:
-        """Deprecated: the pre-typed diagnostics dict.
-
-        Use the typed fields (``eviction_probabilities``, ``quotas``, ...)
-        directly.
-        """
-        warnings.warn(
-            "WorkloadResult.extra is deprecated; read the typed fields "
-            "(victim_not_found_rate, probability_stats, "
-            "eviction_probabilities, forced_evictions, demotions, quotas, "
-            "targets) instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        keys = (
-            "victim_not_found_rate",
-            "probability_stats",
-            "eviction_probabilities",
-            "forced_evictions",
-            "demotions",
-            "quotas",
-            "targets",
-        )
-        return {k: getattr(self, k) for k in keys if getattr(self, k) is not None}
-
 
 def _resolve_mix(mix: Union[str, Sequence]) -> tuple:
-    """Return (mix label, list of profiles)."""
-    if isinstance(mix, str):
-        names = get_mix(mix)
-        return mix, [get_profile(n) for n in names]
-    profiles = []
-    for item in mix:
-        profiles.append(item if isinstance(item, BenchmarkProfile) else get_profile(item))
-    return "custom", profiles
+    """Deprecated: resolve through :func:`repro.workloads.resolve_workload`.
+
+    The historical private helper, kept as a shim for callers that reached
+    into it directly. Returns ``(label, profiles)`` like it always did.
+    """
+    warnings.warn(
+        "_resolve_mix is deprecated; use repro.workloads.resolve_workload() "
+        "and WorkloadSource.profiles() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    source = resolve_workload(mix)
+    return source.label, source.profiles()
 
 
 def _standalone_policy_key(policy) -> str:
@@ -260,8 +234,10 @@ def run_workload(
     """Run one mix under one scheme and report the paper's metrics.
 
     Args:
-        mix: a mix name (``"Q7"``), or a sequence of benchmark
-            names/profiles.
+        mix: a mix name (``"Q7"``), a sequence of benchmark
+            names/profiles, a ``"family:spec"`` workload reference
+            (``"tenants:web8"``), or a ready
+            :class:`~repro.workloads.registry.WorkloadSource`.
         config: the machine (see :func:`repro.experiments.configs.machine`).
         scheme: registry name (see :data:`repro.experiments.schemes.SCHEMES`).
         seed: top-level seed for streams and scheme PRNGs.
@@ -299,7 +275,25 @@ def run_workload(
             check = options.check
         if backend == "classic":
             backend = getattr(options, "backend", "classic")
-    label, profiles = _resolve_mix(mix)
+    source = resolve_workload(mix)
+    if source.kind == "tenants":
+        # Trace-based tenant workloads replay through the tenancy driver
+        # (no timing model); imported lazily to keep the package acyclic.
+        from repro.tenancy.run import run_tenant_workload
+
+        return run_tenant_workload(
+            source,
+            config,
+            scheme,
+            seed=seed,
+            instructions=instructions,
+            scheme_kwargs=scheme_kwargs,
+            telemetry=telemetry,
+            standalone_cache=standalone_cache,
+            check=check,
+            backend=backend,
+        )
+    label, profiles = source.label, source.profiles()
     if len(profiles) != config.num_cores:
         raise ValueError(
             f"mix {label!r} has {len(profiles)} programs but the machine has "

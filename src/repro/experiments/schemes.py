@@ -17,7 +17,13 @@ from repro.cache.replacement import (
     ReplacementPolicy,
     TimestampLRUPolicy,
 )
-from repro.core.allocation import FairnessPolicy, HitMaxPolicy, QOSPolicy, UCPExtendedPolicy
+from repro.core.allocation import (
+    CliffAwarePolicy,
+    FairnessPolicy,
+    HitMaxPolicy,
+    QOSPolicy,
+    UCPExtendedPolicy,
+)
 from repro.core.prism import PrismScheme
 from repro.partitioning import (
     FairWayPartitionScheme,
@@ -73,6 +79,13 @@ def _prism_q(num_cores: int, standalone_ipcs, **kwargs):
         raise ValueError("prism-q needs stand-alone IPCs to set its target")
     target = fraction * standalone_ipcs[qos_core]
     return PrismScheme(QOSPolicy(target, qos_core=qos_core), **kwargs), LRUPolicy()
+
+
+def _cliff(num_cores: int, standalone_ipcs, **kwargs):
+    policy = CliffAwarePolicy(
+        reserve_fraction=kwargs.pop("reserve_fraction", 0.05)
+    )
+    return PrismScheme(policy, **kwargs), LRUPolicy()
 
 
 def _ucp(num_cores: int, standalone_ipcs, **kwargs):
@@ -134,6 +147,8 @@ SCHEMES: Dict[str, SchemeSpec] = {
         SchemeSpec("prism-h", _prism_h, "PriSM hit-maximisation (Alg. 1)"),
         SchemeSpec("prism-f", _prism_f, "PriSM fairness (Alg. 2)"),
         SchemeSpec("prism-q", _prism_q, "PriSM QoS (Alg. 3)"),
+        SchemeSpec("cliff", _cliff,
+                   "Memshare-style cliff-aware greedy (reserved + lookahead)"),
         SchemeSpec("ucp", _ucp, "UCP: UMON + lookahead over way quotas [14]"),
         SchemeSpec("pipp", _pipp, "PIPP insertion/promotion pseudo-partitioning [20]"),
         SchemeSpec("fair-waypart", _fair_waypart, "way-partitioning fairness [9]"),

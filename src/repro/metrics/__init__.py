@@ -1,4 +1,6 @@
-"""Multiprogram performance metrics (Eyerman & Eeckhout [3])."""
+"""Multiprogram performance metrics (Eyerman & Eeckhout [3]) and
+per-tenant SLO metrics for the multi-tenant scenario
+(:mod:`repro.metrics.tenancy`)."""
 
 from repro.metrics.multiprogram import (
     antt,
@@ -9,6 +11,14 @@ from repro.metrics.multiprogram import (
     slowdowns,
     weighted_speedup,
 )
+from repro.metrics.tenancy import (
+    DEFAULT_SLO_FRACTION,
+    MissRunTracker,
+    TenantSLOReport,
+    jain_fairness,
+    slo_attainment,
+    tenant_hit_rates,
+)
 
 __all__ = [
     "antt",
@@ -18,4 +28,10 @@ __all__ = [
     "ipc_throughput",
     "slowdowns",
     "weighted_speedup",
+    "DEFAULT_SLO_FRACTION",
+    "MissRunTracker",
+    "TenantSLOReport",
+    "jain_fairness",
+    "slo_attainment",
+    "tenant_hit_rates",
 ]

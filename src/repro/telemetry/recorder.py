@@ -42,6 +42,7 @@ class TelemetryRecorder:
     def __init__(self, sink=None) -> None:
         self._sink = sink
         self._system = None
+        self._perf = None
         self._cache = None
         self._benchmarks: List[str] = []
         self._telemetry: Optional[RunTelemetry] = None
@@ -51,12 +52,29 @@ class TelemetryRecorder:
     def bind(self, system) -> "TelemetryRecorder":
         """Attach to a ``MultiCoreSystem`` (cache hook + timing counters)."""
         self._system = system
+        self._perf = system
         self.bind_cache(system.cache, benchmarks=[p.name for p in system.profiles])
         return self
 
-    def bind_cache(self, cache, benchmarks: Optional[Sequence[str]] = None) -> "TelemetryRecorder":
-        """Attach to a bare ``SharedCache`` (no timing model)."""
+    def bind_cache(
+        self,
+        cache,
+        benchmarks: Optional[Sequence[str]] = None,
+        perf=None,
+    ) -> "TelemetryRecorder":
+        """Attach to a bare ``SharedCache`` (no timing model).
+
+        Args:
+            cache: the cache whose interval boundary fires the recorder.
+            benchmarks: per-core labels (default ``core0..coreN``).
+            perf: optional provider of ``interval_instructions(core)`` and
+                ``ipc(core)`` to populate the sample fields a full system
+                would (e.g. :class:`repro.tenancy.TenantPerfProvider`);
+                without one those fields read as zero.
+        """
         self._cache = cache
+        if perf is not None:
+            self._perf = perf
         if benchmarks is None:
             benchmarks = [f"core{i}" for i in range(cache.num_cores)]
         self._benchmarks = list(benchmarks)
@@ -85,12 +103,12 @@ class TelemetryRecorder:
         evictions = stats.interval_evictions
         probabilities = self._eviction_probabilities(cache)
         targets = self._targets(cache)
-        system = self._system
+        perf = self._perf
         sink = self._sink
         for core in range(cache.num_cores):
-            if system is not None:
-                instructions = system.interval_instructions(core)
-                ipc = system.ipc(core)
+            if perf is not None:
+                instructions = perf.interval_instructions(core)
+                ipc = perf.ipc(core)
             else:
                 instructions = 0
                 ipc = 0.0

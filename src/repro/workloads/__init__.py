@@ -11,7 +11,12 @@ streamers, cache-insensitive compute, and thrashing giants.
 - :mod:`repro.workloads.benchmark` — profiles + access streams,
 - :mod:`repro.workloads.spec` — the named catalog (``179.art`` etc.),
 - :mod:`repro.workloads.mixes` — the Q/E/S/T workload mixes,
-- :mod:`repro.workloads.trace` — record/replay of access traces.
+- :mod:`repro.workloads.trace` — record/replay of access traces,
+- :mod:`repro.workloads.registry` — the :class:`WorkloadSource` protocol
+  and :func:`resolve_workload`, the one seam every entry point
+  (``run_workload``, campaigns, the CLI) resolves workloads through,
+- :mod:`repro.workloads.tenants` — multi-tenant key-value traces
+  (``"tenants:web8"``), the PriSM-as-memcached family.
 """
 
 from repro.workloads.zones import ScanZone, UniformZone, ZoneModel
@@ -20,8 +25,34 @@ from repro.workloads.spec import PROFILES, get_profile, profiles_by_category
 from repro.workloads.mixes import MIXES, get_mix, mixes_for_cores
 from repro.workloads.trace import Trace, record_trace
 from repro.workloads.phased import PhasedProfile, PhasedStream
+from repro.workloads.registry import (
+    BenchmarkListSource,
+    MixSource,
+    WorkloadSource,
+    register_family,
+    resolve_workload,
+    workload_families,
+)
+from repro.workloads.tenants import (
+    TENANT_PRESETS,
+    TenantSpec,
+    TenantWorkload,
+    get_tenant_workload,
+    tenant_presets,
+)
 
 __all__ = [
+    "WorkloadSource",
+    "MixSource",
+    "BenchmarkListSource",
+    "register_family",
+    "resolve_workload",
+    "workload_families",
+    "TenantSpec",
+    "TenantWorkload",
+    "TENANT_PRESETS",
+    "get_tenant_workload",
+    "tenant_presets",
     "PhasedProfile",
     "PhasedStream",
     "UniformZone",

@@ -14,6 +14,7 @@ from repro.campaign.fingerprint import (
 )
 from repro.experiments.configs import machine
 from repro.experiments.parallel import RunSpec
+from repro.workloads.tenants import TenantSpec, TenantWorkload, get_tenant_workload
 
 CONFIG = machine(4, instructions=3_000)
 
@@ -78,6 +79,53 @@ class TestCanonicalisation:
         vector = RunSpec(mix="Q1", scheme="prism-h", seed=3, backend="vector")
         assert spec_fingerprint(classic, CONFIG) == spec_fingerprint(vector, CONFIG)
         assert "backend" not in canonical_payload(classic, CONFIG)
+
+
+class TestWorkloadSourceIdentity:
+    """Fingerprints for registry-resolved workload sources.
+
+    The tenant digest is pinned exactly like the classic reference above:
+    changing trace generation without bumping TENANT_FAMILY_VERSION (or
+    the fingerprint canonicalisation without bumping FINGERPRINT_VERSION)
+    must fail here before it silently orphans a store.
+    """
+
+    TENANT_SPEC = RunSpec(mix="tenants:smoke4", scheme="prism-h", seed=3)
+    TENANT_DIGEST = (
+        "1b5ee81125c0bdafc04fbd17de61b78e566900c784cb17eaf91385831e18acdd"
+    )
+
+    def test_tenant_digest_is_pinned(self):
+        assert spec_fingerprint(self.TENANT_SPEC, CONFIG) == self.TENANT_DIGEST
+
+    def test_reference_string_and_source_object_hash_identically(self):
+        """"tenants:smoke4" and the built TenantWorkload are the same run."""
+        via_object = RunSpec(
+            mix=get_tenant_workload("smoke4"), scheme="prism-h", seed=3
+        )
+        assert spec_fingerprint(via_object, CONFIG) == self.TENANT_DIGEST
+
+    def test_payload_embeds_the_full_identity(self):
+        payload = canonical_payload(self.TENANT_SPEC, CONFIG)
+        assert payload["mix"]["kind"] == "tenants"
+        assert [t["name"] for t in payload["mix"]["tenants"]] == [
+            "alpha", "bravo", "sweeper", "shifty",
+        ]
+
+    def test_tenant_parameters_move_the_digest(self):
+        base = TenantWorkload("w", [TenantSpec("a", keys=100)])
+        tweaked = TenantWorkload("w", [TenantSpec("a", keys=101)])
+        a = spec_fingerprint(RunSpec(mix=base, scheme="lru"), CONFIG)
+        b = spec_fingerprint(RunSpec(mix=tweaked, scheme="lru"), CONFIG)
+        assert a != b
+
+    def test_plain_mix_digest_unmoved_by_the_resolver(self):
+        """Promoting the resolver must not re-key existing stores: the V1
+        reference digest (plain "Q1" string) is asserted byte-for-byte in
+        TestStability, and MixSource identity stays that same string."""
+        via_string = spec_fingerprint(REFERENCE_SPEC, CONFIG)
+        assert via_string == REFERENCE_DIGEST
+        assert canonical_payload(REFERENCE_SPEC, CONFIG)["mix"] == "Q1"
 
 
 class TestSensitivity:

@@ -29,6 +29,12 @@ def telemetry_result():
     return run_workload("Q1", CONFIG, "prism-h", seed=1, telemetry=True)
 
 
+@pytest.fixture(scope="module")
+def tenant_result():
+    """A multi-tenant result: the tenant_slo scorecard must round-trip."""
+    return run_workload("tenants:smoke4", CONFIG, "prism-h", seed=1)
+
+
 class TestRoundTrip:
     def test_result_dict_round_trip_field_for_field(self, prism_result):
         clone = result_from_dict(result_to_dict(prism_result))
@@ -44,6 +50,35 @@ class TestRoundTrip:
         assert clone.telemetry is not None
         assert clone.telemetry == telemetry_result.telemetry
         assert clone == telemetry_result
+
+    def test_tenant_slo_round_trips(self, tenant_result):
+        assert tenant_result.tenant_slo is not None
+        clone = result_from_dict(result_to_dict(tenant_result))
+        assert clone.tenant_slo == tenant_result.tenant_slo
+        assert clone == tenant_result
+
+    def test_tenant_result_survives_json(self, tenant_result):
+        text = json.dumps(result_to_dict(tenant_result))
+        assert result_from_dict(json.loads(text)) == tenant_result
+
+    def test_pre_tenancy_records_load_without_slo(self, prism_result):
+        """Stores written before the tenant_slo field must still load."""
+        data = result_to_dict(prism_result)
+        del data["tenant_slo"]
+        clone = result_from_dict(data)
+        assert clone.tenant_slo is None
+        assert clone == prism_result
+
+    def test_tenant_store_round_trip(self, tmp_path, tenant_result):
+        spec = RunSpec(mix="tenants:smoke4", scheme="prism-h", seed=1)
+        fp = spec_fingerprint(spec, CONFIG)
+        store = ResultStore(tmp_path / "s")
+        store.add_result(fp, spec, tenant_result)
+        reopened = ResultStore(tmp_path / "s")
+        assert reopened.get(fp) == tenant_result
+        assert reopened.get(fp).tenant_slo.tenants == [
+            "alpha", "bravo", "sweeper", "shifty",
+        ]
 
     def test_store_round_trip(self, tmp_path, prism_result):
         spec = RunSpec(mix="Q1", scheme="prism-h", seed=1)

@@ -1,0 +1,93 @@
+"""Cross-backend equivalence on tenant traces, under the differential oracle.
+
+The multi-tenant key-value family generates its own access streams
+(huge strided addresses, rate-interleaved cores) rather than driving the
+timing model, so it gets its own slice of the differential matrix: the
+vector engine must agree with the classic engine access for access on a
+tenant-generated stream, and the full tenant runner must report
+bit-identical results under either backend.
+"""
+
+import pytest
+
+from repro.check.differential import (
+    _NEEDS_PERF,
+    _NEEDS_STANDALONE,
+    DifferentialCase,
+    SyntheticPerf,
+    _build_engine,
+    _build_vector_engine,
+    compare_batched,
+)
+from repro.util.rng import make_rng
+from repro.workloads.tenants import get_tenant_workload
+
+
+def tenant_stream(requests=1500, seed=7, chunk_size=512):
+    """The smoke4 shared trace flattened to the oracle's (core, addr) form."""
+    workload = get_tenant_workload("smoke4")
+    stream = []
+    for cores, addrs in workload.chunks(requests, seed, chunk_size=chunk_size):
+        stream.extend(zip(cores.tolist(), addrs.tolist()))
+    return stream
+
+
+def engine_pair(case):
+    """(vector, classic) engines with run_case's synthetic perf/standalone."""
+    perf = (
+        SyntheticPerf(case.num_cores, case.seed)
+        if case.scheme in _NEEDS_PERF
+        else None
+    )
+    standalone = None
+    if case.scheme in _NEEDS_STANDALONE:
+        rng = make_rng(case.seed, "check-standalone")
+        standalone = [0.5 + rng.random() for _ in range(case.num_cores)]
+    return (
+        _build_vector_engine(case, standalone, perf),
+        _build_engine(case, standalone, perf),
+    )
+
+
+class TestTenantStreamEquivalence:
+    """Vector vs classic engine over the same tenant trace."""
+
+    @pytest.mark.parametrize("scheme", ["lru", "prism-h", "prism-q"])
+    def test_backends_agree_access_for_access(self, scheme):
+        case = DifferentialCase(
+            scheme=scheme, num_cores=4, num_sets=16, assoc=4, seed=7, accesses=0,
+            scheme_kwargs={"seed": 1} if scheme.startswith("prism") else None,
+        )
+        engine, classic = engine_pair(case)
+        divergences = compare_batched(engine, classic, tenant_stream())
+        assert divergences == [], "\n".join(str(d) for d in divergences)
+
+    def test_slab_count_does_not_change_the_verdict(self):
+        """Chunk boundaries in the tenant replay must not leak state."""
+        case = DifferentialCase(
+            scheme="prism-h", num_cores=4, num_sets=16, assoc=4, seed=7,
+            accesses=0, scheme_kwargs={"seed": 1},
+        )
+        stream = tenant_stream()
+        for slabs in (1, 7):
+            engine = _build_vector_engine(case, None, None)
+            classic = _build_engine(case, None, None)
+            assert compare_batched(engine, classic, stream, slabs=slabs) == []
+
+    def test_oracle_has_teeth_on_tenant_streams(self):
+        """Mismatched PriSM draw seeds must diverge on this stream too."""
+        case = DifferentialCase(
+            scheme="prism-h", num_cores=4, num_sets=16, assoc=4, seed=7,
+            accesses=0, scheme_kwargs={"seed": 1},
+        )
+        skewed = DifferentialCase(
+            scheme="prism-h", num_cores=4, num_sets=16, assoc=4, seed=7,
+            accesses=0, scheme_kwargs={"seed": 2},
+        )
+        engine = _build_vector_engine(case, None, None)
+        classic = _build_engine(skewed, None, None)
+        assert compare_batched(engine, classic, tenant_stream())
+
+    def test_stream_exercises_every_tenant(self):
+        stream = tenant_stream()
+        assert {core for core, _ in stream} == {0, 1, 2, 3}

@@ -23,15 +23,18 @@ MICRO = {
     "fig12": {"instructions": 25_000, "mixes": ["Q7"], "bit_widths": (6,)},
     "fig13": {"instructions": 50_000, "mixes": ["Q7"], "interval_multipliers": (0.5, 1.0)},
     "sec56": {"instructions": 25_000, "mixes": ["Q7"]},
+    "tenants": {"instructions": 30_000, "workload": "smoke4",
+                "schemes": ["lru", "cliff", "prism-h"]},
 }
 
 
 class TestRegistry:
-    def test_all_fourteen_experiments_registered(self):
-        assert len(EXPERIMENTS) == 14
+    def test_all_fifteen_experiments_registered(self):
+        assert len(EXPERIMENTS) == 15
         for fig in range(1, 14):
             assert f"fig{fig}" in EXPERIMENTS
         assert "sec56" in EXPERIMENTS
+        assert "tenants" in EXPERIMENTS
 
     def test_lookup(self):
         assert get_experiment("fig7").title.startswith("PriSM vs Vantage")

@@ -1,7 +1,5 @@
 """Tests for the workload runner."""
 
-import warnings
-
 import pytest
 
 from repro.experiments.configs import machine
@@ -9,7 +7,7 @@ from repro.experiments.options import RunOptions
 from repro.experiments.runner import (
     DEFAULT_STANDALONE_CACHE,
     StandaloneIPCCache,
-    clear_standalone_cache,
+    _resolve_mix,
     run_workload,
     standalone_ipcs,
 )
@@ -107,19 +105,24 @@ class TestRunWorkload:
         assert result.telemetry.num_cores == 4
 
 
-class TestExtraDeprecatedAlias:
-    def test_extra_warns(self):
-        result = run_workload("Q1", CFG, "prism-h")
-        with pytest.warns(DeprecationWarning, match="typed fields"):
-            extra = result.extra
-        assert extra["eviction_probabilities"] == result.eviction_probabilities
-        assert extra["victim_not_found_rate"] == result.victim_not_found_rate
+class TestRemovedDeprecatedAPIs:
+    """The PR-2-era shims are gone; the replacement paths hold."""
 
-    def test_extra_omits_absent_diagnostics(self):
+    def test_extra_alias_removed(self):
         result = run_workload("Q1", CFG, "lru")
-        with pytest.warns(DeprecationWarning):
-            extra = result.extra
-        assert extra == {}
+        with pytest.raises(AttributeError):
+            result.extra
+
+    def test_clear_standalone_cache_removed(self):
+        import repro.experiments.runner as runner
+
+        assert not hasattr(runner, "clear_standalone_cache")
+
+    def test_resolve_mix_shim_warns_and_delegates(self):
+        with pytest.warns(DeprecationWarning, match="resolve_workload"):
+            label, profiles = _resolve_mix("Q1")
+        assert label == "Q1"
+        assert len(profiles) == 4
 
 
 class TestStandaloneCache:
@@ -162,16 +165,6 @@ class TestStandaloneCache:
             "Q1", CFG, "lru", options=RunOptions(standalone_cache=private)
         )
         assert len(private) == 4
-        assert len(DEFAULT_STANDALONE_CACHE) == 0
-
-    def test_clear_shim_warns_and_clears(self):
-        DEFAULT_STANDALONE_CACHE.store(("sentinel",), 1.0)
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
-            with pytest.raises(DeprecationWarning):
-                clear_standalone_cache()
-        with pytest.warns(DeprecationWarning):
-            clear_standalone_cache()
         assert len(DEFAULT_STANDALONE_CACHE) == 0
 
 

@@ -1,0 +1,167 @@
+"""Tests for the per-tenant SLO metrics."""
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.metrics.tenancy import (
+    DEFAULT_SLO_FRACTION,
+    MissRunTracker,
+    TenantSLOReport,
+    jain_fairness,
+    slo_attainment,
+    tenant_hit_rates,
+)
+
+
+def sample(core, hits, misses):
+    return SimpleNamespace(core=core, hits=hits, misses=misses)
+
+
+class TestHitRates:
+    def test_basic(self):
+        assert tenant_hit_rates([9, 0], [1, 0]) == [0.9, 0.0]
+
+    def test_idle_tenant_reports_zero(self):
+        assert tenant_hit_rates([0], [0]) == [0.0]
+
+
+class TestJainFairness:
+    def test_equal_is_one(self):
+        assert jain_fairness([0.5, 0.5, 0.5]) == pytest.approx(1.0)
+
+    def test_one_takes_all_is_one_over_n(self):
+        assert jain_fairness([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_degenerate_inputs(self):
+        assert jain_fairness([]) == 1.0
+        assert jain_fairness([0.0, 0.0]) == 1.0
+
+
+def naive_percentile(cores, hit, num_tenants, q=0.99):
+    """Reference miss-run p-quantile: explicit run list, open run included."""
+    runs = [[] for _ in range(num_tenants)]
+    open_run = [0] * num_tenants
+    for core, h in zip(cores, hit):
+        if h:
+            if open_run[core]:
+                runs[core].append(open_run[core])
+                open_run[core] = 0
+        else:
+            open_run[core] += 1
+    out = []
+    for tenant in range(num_tenants):
+        lengths = sorted(runs[tenant] + ([open_run[tenant]] if open_run[tenant] else []))
+        if not lengths:
+            out.append(0)
+            continue
+        threshold = q * len(lengths)
+        cumulative = 0
+        for length in lengths:
+            cumulative += 1
+            if cumulative >= threshold:
+                out.append(length)
+                break
+    return out
+
+
+class TestMissRunTracker:
+    def test_empty_is_zero(self):
+        assert MissRunTracker(3).p99_all() == [0, 0, 0]
+
+    def test_single_run(self):
+        tracker = MissRunTracker(1)
+        tracker.update(np.zeros(5, dtype=np.int64),
+                       np.array([True, False, False, False, True]))
+        assert tracker.percentile(0) == 3
+
+    def test_open_run_counts(self):
+        """A trace ending mid-miss-run still reports that run."""
+        tracker = MissRunTracker(1)
+        tracker.update(np.zeros(4, dtype=np.int64),
+                       np.array([True, False, False, False]))
+        assert tracker.percentile(0) == 3
+
+    def test_runs_carry_across_chunk_boundaries(self):
+        cores = np.zeros(6, dtype=np.int64)
+        hit = np.array([True, False, False, False, False, True])
+        whole = MissRunTracker(1)
+        whole.update(cores, hit)
+        split = MissRunTracker(1)
+        split.update(cores[:3], hit[:3])
+        split.update(cores[3:], hit[3:])
+        assert split.percentile(0) == whole.percentile(0) == 4
+
+    @pytest.mark.parametrize("chunk", [1, 3, 17, 1000])
+    def test_matches_naive_reference_under_any_chunking(self, chunk):
+        rng = np.random.Generator(np.random.PCG64(42))
+        cores = rng.integers(0, 3, size=1000).astype(np.int64)
+        hit = rng.random(1000) < 0.6
+        tracker = MissRunTracker(3)
+        for start in range(0, 1000, chunk):
+            tracker.update(cores[start:start + chunk], hit[start:start + chunk])
+        assert tracker.p99_all() == naive_percentile(cores, hit, 3)
+        for q in (0.5, 0.9):
+            expected = naive_percentile(cores, hit, 3, q=q)
+            assert [tracker.percentile(t, q) for t in range(3)] == expected
+
+
+class TestSLOAttainment:
+    def test_counts_only_active_intervals(self):
+        samples = [
+            sample(0, hits=9, misses=1),   # 0.9 -> met (target 0.5)
+            sample(0, hits=1, misses=9),   # 0.1 -> missed
+            sample(0, hits=0, misses=0),   # idle: not counted
+        ]
+        assert slo_attainment(samples, 2, [0.5, 0.5]) == [0.5, 1.0]
+
+    def test_idle_tenant_attains_by_default(self):
+        assert slo_attainment([], 2, [0.5, 0.5]) == [1.0, 1.0]
+
+    def test_boundary_interval_meets_target(self):
+        samples = [sample(0, hits=5, misses=5)]
+        assert slo_attainment(samples, 1, [0.5]) == [1.0]
+
+
+class TestTenantSLOReport:
+    def _report(self):
+        tracker = MissRunTracker(2)
+        tracker.update(np.array([0, 0, 1, 1]),
+                       np.array([True, False, True, False]))
+        samples = [sample(0, hits=8, misses=2), sample(1, hits=2, misses=8)]
+        return TenantSLOReport.build(
+            ["a", "b"], hits=[80, 20], misses=[20, 80],
+            solo_hit_rates=[0.9, 0.5], samples=samples, miss_runs=tracker,
+        )
+
+    def test_build_shapes(self):
+        report = self._report()
+        assert report.tenants == ["a", "b"]
+        assert report.slo_fraction == DEFAULT_SLO_FRACTION
+        assert report.hit_rates == [0.8, 0.2]
+        assert report.slo_targets == pytest.approx([0.72, 0.4])
+        assert report.slo_attainment == [1.0, 0.0]
+        assert report.p99_miss_run == [1, 1]
+        assert report.requests == [100, 100]
+        assert 0.0 < report.fairness <= 1.0
+
+    def test_round_trip(self):
+        report = self._report()
+        assert TenantSLOReport.from_dict(report.to_dict()) == report
+
+    def test_from_dict_tolerates_missing_requests(self):
+        """Stores written before the requests field must still load."""
+        data = self._report().to_dict()
+        del data["requests"]
+        assert TenantSLOReport.from_dict(data).requests == []
+
+    def test_zero_solo_rate_scores_full_service(self):
+        """A tenant that never hits solo (pure scan) cannot be starved."""
+        tracker = MissRunTracker(1)
+        report = TenantSLOReport.build(
+            ["scan"], hits=[0], misses=[10], solo_hit_rates=[0.0],
+            samples=[], miss_runs=tracker,
+        )
+        assert report.fairness == 1.0
+        assert report.slo_targets == [0.0]

@@ -34,6 +34,52 @@ class TestTopLevelAPI:
                 assert hasattr(module, name), f"{module.__name__}.{name}"
 
 
+class TestWorkloadConstructionAPI:
+    """The unified workload-source seam promised by docs/simulator.md."""
+
+    def test_documented_names_exported(self):
+        import repro.workloads as workloads
+
+        for name in ("WorkloadSource", "MixSource", "BenchmarkListSource",
+                     "resolve_workload", "register_family", "workload_families",
+                     "TenantSpec", "TenantWorkload", "get_tenant_workload",
+                     "tenant_presets", "TENANT_PRESETS"):
+            assert name in workloads.__all__, name
+            assert hasattr(workloads, name), name
+
+    def test_resolver_covers_every_reference_kind(self):
+        from repro.workloads import (
+            BenchmarkListSource,
+            MixSource,
+            TenantWorkload,
+            resolve_workload,
+        )
+
+        assert isinstance(resolve_workload("Q7"), MixSource)
+        assert isinstance(resolve_workload(["179.art"]), BenchmarkListSource)
+        assert isinstance(resolve_workload("tenants:smoke4"), TenantWorkload)
+
+    def test_tenants_family_registered(self):
+        from repro.workloads import workload_families
+
+        assert "tenants" in workload_families()
+
+    def test_tenancy_metrics_exported(self):
+        import repro.metrics as metrics
+
+        for name in ("TenantSLOReport", "MissRunTracker", "jain_fairness",
+                     "slo_attainment", "tenant_hit_rates", "DEFAULT_SLO_FRACTION"):
+            assert name in metrics.__all__, name
+
+    def test_resolve_mix_shim_is_deprecated(self):
+        from repro.experiments.runner import _resolve_mix
+
+        with pytest.warns(DeprecationWarning, match="resolve_workload"):
+            label, profiles = _resolve_mix("Q7")
+        assert label == "Q7"
+        assert len(profiles) == 4
+
+
 class TestPolicyRegistry:
     def test_make_policy_known_names(self):
         from repro.cache.replacement import make_policy

@@ -1,0 +1,95 @@
+"""Tests for the workload-source registry (the unified construction API)."""
+
+import pytest
+
+from repro.workloads.benchmark import BenchmarkProfile
+from repro.workloads.mixes import get_mix
+from repro.workloads.registry import (
+    WORKLOAD_FAMILIES,
+    BenchmarkListSource,
+    MixSource,
+    WorkloadSource,
+    register_family,
+    resolve_workload,
+    workload_families,
+)
+from repro.workloads.spec import get_profile
+from repro.workloads.tenants import TenantWorkload
+
+
+class TestResolveWorkload:
+    def test_source_passthrough(self):
+        source = MixSource("Q1")
+        assert resolve_workload(source) is source
+
+    def test_mix_name(self):
+        source = resolve_workload("Q7")
+        assert isinstance(source, MixSource)
+        assert source.label == "Q7"
+        assert source.num_cores == 4
+        assert source.identity() == "Q7"
+        assert [p.name for p in source.profiles()] == list(get_mix("Q7"))
+
+    def test_benchmark_names(self):
+        names = ["179.art", "470.lbm"]
+        source = resolve_workload(names)
+        assert isinstance(source, BenchmarkListSource)
+        assert source.label == "custom"
+        assert source.num_cores == 2
+        assert source.identity() == names
+
+    def test_benchmark_profiles_and_names_mix(self):
+        items = [get_profile("179.art"), "470.lbm"]
+        source = resolve_workload(items)
+        assert source.identity() == ["179.art", "470.lbm"]
+        profiles = source.profiles()
+        assert all(isinstance(p, BenchmarkProfile) for p in profiles)
+        assert profiles[0] is items[0]
+
+    def test_family_reference(self):
+        source = resolve_workload("tenants:smoke4")
+        assert isinstance(source, TenantWorkload)
+        assert source.label == "tenants:smoke4"
+        assert source.num_cores == 4
+
+    def test_unknown_family_lists_known_ones(self):
+        with pytest.raises(KeyError, match="tenants"):
+            resolve_workload("martian:x")
+
+    def test_unsupported_type(self):
+        with pytest.raises(TypeError, match="workload"):
+            resolve_workload(42)
+
+
+class TestFamilies:
+    def test_builtin_tenants_family_listed(self):
+        assert "tenants" in workload_families()
+
+    def test_register_rejects_colon_names(self):
+        with pytest.raises(ValueError, match="':'"):
+            register_family("a:b", lambda spec: MixSource(spec))
+
+    def test_register_rejects_duplicates_unless_overwrite(self):
+        def parser(spec):
+            return MixSource(spec)
+
+        register_family("scratch", parser)
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+                register_family("scratch", parser)
+            register_family("scratch", parser, overwrite=True)
+            assert isinstance(resolve_workload("scratch:Q1"), MixSource)
+        finally:
+            WORKLOAD_FAMILIES.pop("scratch", None)
+
+
+class TestSourceProtocol:
+    def test_trace_families_refuse_profiles(self):
+        source = resolve_workload("tenants:smoke4")
+        with pytest.raises(TypeError, match="profiles"):
+            source.profiles()
+
+    def test_mix_source_is_a_workload_source(self):
+        assert isinstance(MixSource("Q1"), WorkloadSource)
+        assert MixSource("Q1").kind == "mix"
+        assert BenchmarkListSource(["179.art"]).kind == "benchmarks"
