@@ -30,7 +30,13 @@ from repro.campaign.fingerprint import (
     spec_fingerprint,
 )
 from repro.campaign.runner import CampaignRun, CampaignRunner, cache_hit
-from repro.campaign.store import FailedRun, ResultStore, RunMeta, StoredResult
+from repro.campaign.store import (
+    FailedRun,
+    ResultStore,
+    RunMeta,
+    StoredResult,
+    StoreMergeError,
+)
 
 __all__ = [
     "Campaign",
@@ -39,6 +45,7 @@ __all__ = [
     "CampaignRunner",
     "cache_hit",
     "ResultStore",
+    "StoreMergeError",
     "StoredResult",
     "RunMeta",
     "FailedRun",

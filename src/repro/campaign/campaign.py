@@ -47,7 +47,7 @@ from repro.experiments.configs import MachineConfig
 from repro.experiments.parallel import RunSpec
 from repro.experiments.runner import WorkloadResult
 
-__all__ = ["Campaign", "CampaignStatus", "MANIFEST_NAME"]
+__all__ = ["Campaign", "CampaignStatus", "completion_rate", "MANIFEST_NAME"]
 
 MANIFEST_NAME = "campaign.json"
 
@@ -86,22 +86,61 @@ def machine_from_dict(data: dict) -> MachineConfig:
 
 @dataclass(frozen=True)
 class CampaignStatus:
-    """Store-side progress of a campaign (unique fingerprints)."""
+    """Store-side progress of a campaign (unique fingerprints).
+
+    ``specs_per_min``/``eta_seconds`` are derived from the completed
+    records' stored timestamps (``RunMeta.created_at``): the completion
+    *rate* needs at least two records and a non-zero span, the ETA
+    additionally needs pending work. Both are ``None`` when they cannot
+    be estimated. The same columns feed ``repro-sim campaign status``
+    and the herd status view.
+    """
 
     total: int
     completed: int
     failed: int
     pending: int
+    specs_per_min: Optional[float] = None
+    eta_seconds: Optional[float] = None
 
     @property
     def done(self) -> bool:
         return self.pending == 0 and self.failed == 0
 
+    @staticmethod
+    def _format_eta(seconds: float) -> str:
+        if seconds >= 3600:
+            return f"{seconds / 3600:.1f}h"
+        if seconds >= 60:
+            return f"{seconds / 60:.1f}m"
+        return f"{seconds:.0f}s"
+
     def describe(self) -> str:
-        return (
+        text = (
             f"{self.completed}/{self.total} completed, "
             f"{self.failed} failed, {self.pending} pending"
         )
+        if self.specs_per_min is not None:
+            text += f", {self.specs_per_min:.1f} specs/min"
+        if self.eta_seconds is not None:
+            text += f", ETA {self._format_eta(self.eta_seconds)}"
+        return text
+
+
+def completion_rate(created_ats: Sequence[float]) -> Optional[float]:
+    """Specs per *minute* from completed-record timestamps, or ``None``.
+
+    The first record anchors the clock, so the rate is over the spans
+    *between* completions — ``n`` records over ``span`` seconds is
+    ``n - 1`` completions of observed spacing.
+    """
+    stamps = sorted(t for t in created_ats if t)
+    if len(stamps) < 2:
+        return None
+    span = stamps[-1] - stamps[0]
+    if span <= 0:
+        return None
+    return (len(stamps) - 1) / span * 60.0
 
 
 class Campaign:
@@ -221,20 +260,29 @@ class Campaign:
         """Progress over the campaign's unique fingerprints."""
         completed = failed = 0
         seen = set()
+        created_ats = []
         for spec, fp in zip(self.specs, self.fingerprints()):
             if fp in seen:
                 continue
             seen.add(fp)
             if cache_hit(self.store, fp, spec) is not None:
                 completed += 1
+                stored = self.store.record_for(fp)
+                if stored is not None:
+                    created_ats.append(stored.meta.created_at)
             elif self.store.failure_for(fp) is not None:
                 failed += 1
         total = len(seen)
+        pending = total - completed - failed
+        rate = completion_rate(created_ats)
+        eta = pending / (rate / 60.0) if rate and pending else None
         return CampaignStatus(
             total=total,
             completed=completed,
             failed=failed,
-            pending=total - completed - failed,
+            pending=pending,
+            specs_per_min=rate,
+            eta_seconds=eta,
         )
 
     def failures(self) -> List[FailedRun]:
@@ -361,13 +409,50 @@ class Campaign:
                 fh.write(json.dumps(record) + "\n")
         return path
 
+    def export_parquet(self, path: Union[str, Path]) -> Path:
+        """Write the summary table as Parquet (columnar, for big sweeps).
+
+        Parquet needs ``pyarrow``, which is deliberately *optional* —
+        the simulator itself must not grow the dependency. Without it
+        the export **falls back loudly to CSV**: a ``RuntimeWarning``
+        plus a stderr line, and the returned path carries a ``.csv``
+        suffix so nothing downstream mistakes the bytes for Parquet.
+        """
+        path = Path(path)
+        try:
+            import pyarrow as pa
+            import pyarrow.parquet as pq
+        except ImportError:
+            import sys
+            import warnings
+
+            fallback = path.with_suffix(".csv")
+            message = (
+                f"pyarrow is not installed: falling back from Parquet to CSV "
+                f"({fallback}). `pip install pyarrow` for columnar export."
+            )
+            warnings.warn(message, RuntimeWarning, stacklevel=2)
+            print(f"WARNING: {message}", file=sys.stderr)
+            return self.export_csv(fallback)
+        rows = self.export_rows()
+        columns = {
+            name: [row.get(name) for row in rows] for name in self.EXPORT_FIELDS
+        }
+        pq.write_table(pa.table(columns), path)
+        return path
+
     def export(self, path: Union[str, Path], fmt: Optional[str] = None) -> Path:
         """Export by format name, or by the path's extension."""
         path = Path(path)
         if fmt is None:
-            fmt = "csv" if path.suffix.lower() == ".csv" else "jsonl"
+            suffix = path.suffix.lower()
+            fmt = {"": "jsonl", ".csv": "csv", ".parquet": "parquet"}.get(suffix, "jsonl")
         if fmt == "csv":
             return self.export_csv(path)
         if fmt == "jsonl":
             return self.export_jsonl(path)
-        raise ValueError(f"unknown export format {fmt!r} (expected csv or jsonl)")
+        if fmt == "parquet":
+            return self.export_parquet(path)
+        raise ValueError(
+            f"unknown export format {fmt!r} (expected csv, jsonl, or parquet)"
+        )

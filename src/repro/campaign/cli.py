@@ -96,11 +96,18 @@ def cmd_campaign_export(args) -> int:
     return 0
 
 
+def cmd_campaign_herd(args) -> int:
+    from repro.herd.cli import cmd_campaign_herd as handler
+
+    return handler(args)
+
+
 _HANDLERS = {
     "run": cmd_campaign_run,
     "status": cmd_campaign_status,
     "resume": cmd_campaign_resume,
     "export": cmd_campaign_export,
+    "herd": cmd_campaign_herd,
 }
 
 

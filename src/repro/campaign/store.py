@@ -24,6 +24,17 @@ stored failure supersedes it. Records are appended with an ``fsync``-free
 open/write/close per record (crash-durable at line granularity), and the
 loader skips a torn trailing line, so a store written by a process that
 was SIGKILLed mid-append still loads everything that completed.
+
+Appends take an advisory ``flock`` on the log for the duration of the
+single write, so several *processes* pointed at one store directory (herd
+workers, parallel campaign drivers) can never interleave torn lines
+mid-file; each process still keeps its own in-memory index, so
+cross-process read-your-writes visibility requires re-opening the store.
+:meth:`ResultStore.merge` folds another store (a herd worker's shard
+store) into this one with the same last-record-wins semantics, and raises
+:class:`StoreMergeError` if two stores claim *different* results for one
+fingerprint — determinism says that cannot happen, so it is a bug worth
+stopping on, not papering over.
 """
 
 from __future__ import annotations
@@ -33,7 +44,12 @@ import socket
 import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, Iterator, List, Optional, Union
+
+try:  # POSIX only; on other platforms appends fall back to unlocked writes
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None
 
 from repro.cpu.system import CoreResult
 from repro.experiments.parallel import RunSpec
@@ -41,10 +57,27 @@ from repro.experiments.runner import WorkloadResult
 from repro.metrics.tenancy import TenantSLOReport
 from repro.telemetry import FinishSample, IntervalSample, RunTelemetry
 
-__all__ = ["FailedRun", "RunMeta", "StoredResult", "ResultStore"]
+__all__ = ["FailedRun", "RunMeta", "StoredResult", "ResultStore", "StoreMergeError"]
 
 #: results.jsonl schema version.
 STORE_FORMAT = 1
+
+
+class StoreMergeError(RuntimeError):
+    """Two stores hold *different* result payloads for one fingerprint.
+
+    A fingerprint is the content address of a deterministic run, so two
+    stores disagreeing about its result means one of them was produced by
+    different code (or a corrupted record) — merging would silently bless
+    one of the two, so the merge refuses instead.
+    """
+
+    def __init__(self, fingerprint: str, detail: str = "") -> None:
+        self.fingerprint = fingerprint
+        message = f"conflicting result payloads for fingerprint {fingerprint}"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
 
 
 @dataclass(frozen=True)
@@ -288,11 +321,38 @@ class ResultStore:
                 timed_out=failure.get("timed_out", False),
             )
 
+    def iter_records(self) -> Iterator[dict]:
+        """Raw record dicts in file order (torn trailing line skipped)."""
+        if not self.records_path.exists():
+            return
+        with open(self.records_path, "r") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+
     # -- appending ----------------------------------------------------------
 
     def _append(self, record: dict) -> None:
+        # One write call under an exclusive advisory lock: concurrent
+        # appenders (herd workers, parallel drivers sharing one store)
+        # serialise per record, so the log can never hold an interleaved
+        # torn line mid-file. O_APPEND places the write at the current
+        # end even if another process appended between open and lock.
+        data = json.dumps(record) + "\n"
         with open(self.records_path, "a") as fh:
-            fh.write(json.dumps(record) + "\n")
+            if fcntl is not None:
+                fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+            try:
+                fh.write(data)
+                fh.flush()
+            finally:
+                if fcntl is not None:
+                    fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
 
     def add_result(
         self,
@@ -371,3 +431,82 @@ class ResultStore:
 
     def failure_for(self, fingerprint: str) -> Optional[FailedRun]:
         return self._failures.get(fingerprint)
+
+    # -- merging ------------------------------------------------------------
+
+    def append_raw(self, record: dict) -> None:
+        """Append one already-serialised record (and index it).
+
+        The record must be store-shaped (``record``/``fingerprint``/... as
+        written by :meth:`add_result`/:meth:`add_failure`); this is the
+        ingestion path for records that arrive over the wire (herd
+        workers) or from another store (:meth:`merge`) — no
+        deserialise/re-serialise round trip.
+        """
+        self._append(record)
+        self._index(record)
+
+    def merge(self, shard: "ResultStore", on_conflict: str = "error") -> int:
+        """Fold another store's records into this one; returns appends.
+
+        Semantics (``tests/campaign/test_store_merge.py``):
+
+        - **Disjoint fingerprints** simply append.
+        - **Overlapping fingerprints with an identical result payload**
+          deduplicate — this store keeps its record, nothing is appended
+          (the common case: a shard re-merged after a crash, or two
+          workers that both computed a duplicate spec).
+        - **Conflicting result payloads** for one fingerprint raise
+          :class:`StoreMergeError` (``on_conflict="error"``, the
+          default), or let the incoming record supersede
+          (``on_conflict="theirs"`` — last record wins in the log).
+        - A shard **result supersedes** a stored failure; a shard failure
+          never displaces a stored result; a shard failure for an
+          already-failed fingerprint supersedes (fresher attempt count).
+        - The shard's torn trailing line, if any, was already dropped by
+          its loader.
+
+        Telemetry trace files travel with their records: a merged
+        fingerprint's ``traces/<fp>.jsonl`` is copied unless this store
+        already has one.
+        """
+        if on_conflict not in ("error", "theirs"):
+            raise ValueError(f"on_conflict must be 'error' or 'theirs', got {on_conflict!r}")
+        appended = 0
+        for stored in shard.results():
+            fp = stored.fingerprint
+            mine = self._results.get(fp)
+            if mine is not None:
+                if result_to_dict(mine.result) == result_to_dict(stored.result):
+                    continue
+                if on_conflict == "error":
+                    raise StoreMergeError(
+                        fp, f"{shard.root} disagrees with {self.root}"
+                    )
+            self.append_raw(
+                {
+                    "record": "result",
+                    "format": STORE_FORMAT,
+                    "fingerprint": fp,
+                    "spec": spec_to_dict(stored.spec),
+                    "meta": {
+                        "wall_seconds": stored.meta.wall_seconds,
+                        "host": stored.meta.host,
+                        "repro_version": stored.meta.repro_version,
+                        "created_at": stored.meta.created_at,
+                    },
+                    "result": result_to_dict(stored.result),
+                }
+            )
+            appended += 1
+            shard_trace = shard.trace_path(fp)
+            mine_trace = self.trace_path(fp)
+            if shard_trace.exists() and not mine_trace.exists():
+                self.traces_dir.mkdir(parents=True, exist_ok=True)
+                mine_trace.write_bytes(shard_trace.read_bytes())
+        for failure in shard.failures():
+            if failure.fingerprint in self._results:
+                continue
+            self.add_failure(failure)
+            appended += 1
+        return appended

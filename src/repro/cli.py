@@ -232,12 +232,84 @@ def build_parser() -> argparse.ArgumentParser:
     cresume_p.add_argument("--quiet", action="store_true")
 
     cexport_p = camp_sub.add_parser(
-        "export", help="export campaign results as CSV or JSONL",
+        "export", help="export campaign results as CSV, JSONL, or Parquet",
         parents=[camp_store],
     )
     cexport_p.add_argument("-o", "--output", required=True)
-    cexport_p.add_argument("--format", choices=["csv", "jsonl"], default=None,
-                           help="default: by output extension")
+    cexport_p.add_argument("--format", choices=["csv", "jsonl", "parquet"],
+                           default=None,
+                           help="default: by output extension (parquet needs "
+                           "pyarrow and falls back loudly to CSV without it)")
+
+    cherd_p = camp_sub.add_parser(
+        "herd",
+        help="distribute a campaign across a worker fleet "
+        "(docs/campaigns.md \"Herd\")",
+    )
+    cherd_sub = cherd_p.add_subparsers(dest="herd_command", required=True)
+
+    hrun_p = cherd_sub.add_parser(
+        "run",
+        help="shard pending specs across workers; resumes like campaign run",
+        parents=[camp_store],
+    )
+    hrun_p.add_argument("--mixes", nargs="+", default=None,
+                        help="mix names (omit to resume the saved campaign)")
+    hrun_p.add_argument("--schemes", nargs="+", default=None,
+                        help="scheme registry names (required with --mixes)")
+    hrun_p.add_argument("--seeds", nargs="*", type=int, default=[0])
+    hrun_p.add_argument("--instructions", type=int, default=None)
+    hrun_p.add_argument("--scale-factor", type=int, default=64)
+    hrun_p.add_argument("--telemetry", action="store_true",
+                        help="record per-interval traces into the store")
+    hrun_p.add_argument("--retries", type=int, default=1,
+                        help="in-worker attempts per failing spec")
+    hrun_p.add_argument("--transport", choices=["local", "ssh", "exec"],
+                        default="local",
+                        help="local = multiprocessing workers on this "
+                        "machine; ssh = one worker per --hosts entry "
+                        "running `repro-sim herd worker`; exec = local "
+                        "subprocesses over the ssh byte protocol")
+    hrun_p.add_argument("--workers", type=int, default=None,
+                        help="fleet size for local/exec (default 2; "
+                        "ssh uses one worker per host)")
+    hrun_p.add_argument("--hosts", nargs="+", default=None,
+                        help="ssh hosts (repeat a host for several workers)")
+    hrun_p.add_argument("--heartbeat", type=float, default=1.0,
+                        help="worker heartbeat cadence in seconds")
+    hrun_p.add_argument("--dead-after", type=float, default=15.0,
+                        help="heartbeat silence before a worker is declared "
+                        "dead and its specs re-shard")
+    hrun_p.add_argument("--max-reassign", type=int, default=2,
+                        help="times one spec may be re-sharded off dead "
+                        "workers before it is recorded as failed")
+    hrun_p.add_argument("--quiet", action="store_true")
+    # Test hooks (CI chaos smoke): SIGKILL a named worker after it has
+    # streamed N results, exercising dead-worker detection end to end.
+    hrun_p.add_argument("--chaos-kill-worker", default=None,
+                        help=argparse.SUPPRESS)
+    hrun_p.add_argument("--chaos-kill-after", type=int, default=1,
+                        help=argparse.SUPPRESS)
+
+    hstatus_p = cherd_sub.add_parser(
+        "status",
+        help="fleet dashboard from the heartbeat log (exit 0 iff complete)",
+        parents=[camp_store],
+    )
+    hstatus_p.add_argument("--watch", type=float, default=None, metavar="SECONDS",
+                           help="re-render every SECONDS until complete")
+
+    herd_p = sub.add_parser(
+        "herd",
+        help="herd worker-side entry points (the controller side lives "
+        "under `campaign herd`)",
+    )
+    herd_sub = herd_p.add_subparsers(dest="herd_top_command", required=True)
+    herd_sub.add_parser(
+        "worker",
+        help="run as a herd worker: shard document on stdin, framed "
+        "result records on stdout (launched by the ssh transport)",
+    )
 
     check_p = sub.add_parser(
         "check",
@@ -524,6 +596,12 @@ def cmd_campaign(args) -> int:
     return handler(args)
 
 
+def cmd_herd(args) -> int:
+    from repro.herd.cli import cmd_herd as handler
+
+    return handler(args)
+
+
 def cmd_check(args) -> int:
     from repro.check.cli import cmd_check as handler
 
@@ -532,7 +610,7 @@ def cmd_check(args) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.command != "campaign":
+    if args.command not in ("campaign", "herd"):
         # Exported rather than threaded through every experiment signature:
         # repro.experiments.parallel resolves REPRO_JOBS/REPRO_STORE at
         # fan-out time. (Campaign commands manage their own store/jobs.)
@@ -553,6 +631,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "report": cmd_report,
         "characterize": cmd_characterize,
         "campaign": cmd_campaign,
+        "herd": cmd_herd,
         "check": cmd_check,
     }
     try:

@@ -1,0 +1,55 @@
+"""Herd mode: one controller fanning a campaign out over a worker fleet.
+
+The campaign subsystem (:mod:`repro.campaign`) made sweeps
+content-addressed, resumable, and fault-isolated on one machine; this
+package distributes them. A :class:`HerdController` shards a campaign's
+*pending* fingerprints across workers over a pluggable transport —
+
+- :class:`~repro.herd.transport.LocalTransport`: ``multiprocessing``
+  worker loops on this machine (the CI-testable default);
+- :class:`~repro.herd.transport.SshTransport`: stdlib-subprocess ssh
+  workers running ``repro-sim herd worker``, shard in via stdin, results
+  streamed back as framed lines on stdout;
+
+— with per-worker heartbeats, dead-worker detection and bounded
+re-sharding of orphaned specs, graceful drain on SIGINT, and per-worker
+shard stores that :meth:`~repro.campaign.store.ResultStore.merge` folds
+into the canonical store. The acceptance bar, proven in CI: **zero
+recomputed fingerprints across the fleet**, including after a worker is
+SIGKILLed mid-sweep.
+
+See ``docs/campaigns.md`` ("Herd") for the architecture sketch,
+transport matrix and failure semantics.
+"""
+
+from repro.herd.controller import HerdController, HerdRun
+from repro.herd.protocol import FRAME_PREFIX, frame, shard_index, shard_specs, unframe
+from repro.herd.status import HerdStatus, WorkerStatus, herd_status, render_status
+from repro.herd.transport import (
+    ExecTransport,
+    LocalTransport,
+    SshTransport,
+    Transport,
+    resolve_transport,
+)
+from repro.herd.worker import worker_loop
+
+__all__ = [
+    "HerdController",
+    "HerdRun",
+    "HerdStatus",
+    "WorkerStatus",
+    "herd_status",
+    "render_status",
+    "Transport",
+    "LocalTransport",
+    "ExecTransport",
+    "SshTransport",
+    "resolve_transport",
+    "worker_loop",
+    "frame",
+    "unframe",
+    "FRAME_PREFIX",
+    "shard_index",
+    "shard_specs",
+]

@@ -1,0 +1,114 @@
+"""Handlers for ``repro-sim herd worker`` and ``repro-sim campaign herd``.
+
+Parser wiring lives in :mod:`repro.cli`; these handlers import the herd
+machinery lazily so ``repro-sim run`` never pays for it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+__all__ = ["cmd_herd", "cmd_campaign_herd"]
+
+
+def cmd_herd_worker(args) -> int:
+    from repro.herd.worker import stdio_worker_main
+
+    return stdio_worker_main()
+
+
+def _herd_campaign(args):
+    """The campaign for ``herd run``: a fresh grid, or the saved manifest."""
+    from repro.campaign.campaign import Campaign
+    from repro.campaign.cli import _grid_machine
+
+    if args.mixes:
+        return Campaign.grid(
+            args.store,
+            _grid_machine(args),
+            mixes=args.mixes,
+            schemes=args.schemes,
+            seeds=args.seeds,
+            telemetry=args.telemetry,
+            retries=args.retries,
+        )
+    return Campaign.load(args.store)
+
+
+def cmd_herd_run(args) -> int:
+    from repro.herd.controller import HerdController
+    from repro.herd.transport import resolve_transport
+
+    if args.mixes and not args.schemes:
+        raise SystemExit("campaign herd run: --schemes is required with --mixes")
+    campaign = _herd_campaign(args)
+    from repro.herd.controller import herd_dir
+
+    transport = resolve_transport(
+        args.transport,
+        hosts=args.hosts,
+        log_dir=herd_dir(campaign.store.root) / "logs",
+    )
+    controller = HerdController(
+        campaign,
+        transport=transport,
+        workers=args.workers,
+        heartbeat=args.heartbeat,
+        dead_after=args.dead_after,
+        max_reassign=args.max_reassign,
+        progress=None if args.quiet else (lambda msg: print(f"  {msg}", flush=True)),
+        chaos_kill_worker=args.chaos_kill_worker,
+        chaos_kill_after=args.chaos_kill_after,
+    )
+    run = controller.run_with_sigint_drain()
+    print(run.describe())
+    print(f"store: {campaign.store.root} ({campaign.status().describe()})")
+    return 1 if (run.failed or run.remaining) else 0
+
+
+def cmd_herd_status(args) -> int:
+    from repro.campaign.campaign import Campaign
+    from repro.herd.status import render_status
+
+    def render_once() -> int:
+        campaign_status = None
+        try:
+            campaign_status = Campaign.load(args.store).status()
+        except FileNotFoundError:
+            pass
+        print(render_status(args.store, campaign_status=campaign_status))
+        if campaign_status is not None and campaign_status.done:
+            return 0
+        return 1
+
+    if not args.watch:
+        return render_once()
+    try:
+        while True:
+            print(f"--- {time.strftime('%H:%M:%S')} ---")
+            code = render_once()
+            if code == 0:
+                return 0
+            time.sleep(args.watch)
+    except KeyboardInterrupt:
+        return 0
+
+
+_CAMPAIGN_HERD_HANDLERS = {
+    "run": cmd_herd_run,
+    "status": cmd_herd_status,
+}
+
+
+def cmd_campaign_herd(args: argparse.Namespace) -> int:
+    return _CAMPAIGN_HERD_HANDLERS[args.herd_command](args)
+
+
+_HERD_HANDLERS = {
+    "worker": cmd_herd_worker,
+}
+
+
+def cmd_herd(args: argparse.Namespace) -> int:
+    return _HERD_HANDLERS[args.herd_top_command](args)

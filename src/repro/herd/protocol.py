@@ -1,0 +1,141 @@
+"""The herd wire protocol: shard documents, messages, and line framing.
+
+One controller drives N workers. Everything a worker needs arrives in a
+single **shard document** (machine config, its spec slice with
+pre-computed fingerprints, heartbeat cadence); everything it produces
+flows back as a stream of **messages** — plain JSON dicts discriminated
+by ``type``:
+
+========== ==========  =================================================
+direction  type        meaning
+========== ==========  =================================================
+worker →   hello       worker is up (pid, host, assigned count)
+worker →   heartbeat   liveness + progress (done, total, current spec)
+worker →   result      one completed spec, as a store-shaped record
+worker →   failure     one exhausted spec, as a store-shaped record
+worker →   idle        queue empty, waiting for more work or ``fin``
+worker →   bye         clean exit (after ``fin`` or ``drain``)
+worker →   log         free-form text worth surfacing
+→ worker   assign      more specs (re-sharded orphans of a dead worker)
+→ worker   drain       finish the in-flight spec, then exit
+→ worker   fin         no more work will come: exit once idle
+========== ==========  =================================================
+
+``result``/``failure`` messages carry the *exact* record dict the
+:class:`~repro.campaign.store.ResultStore` log holds, so the controller
+ingests them with ``append_raw`` — no deserialise/re-serialise round
+trip, and a herd store is line-for-line the store a serial run writes
+(modulo record order and provenance metadata).
+
+Framing: stdio transports (ssh) write one message per line, prefixed
+with :data:`FRAME_PREFIX`, onto the worker's stdout. Anything *without*
+the prefix (a stray ``print``, an ssh banner) is passed through as
+worker log output instead of corrupting the stream. The local transport
+ships the same dicts over a ``multiprocessing`` pipe and never frames.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+__all__ = [
+    "PROTOCOL_FORMAT",
+    "FRAME_PREFIX",
+    "frame",
+    "unframe",
+    "shard_index",
+    "shard_specs",
+    "make_shard_doc",
+    "check_shard_doc",
+]
+
+#: Shard-document / message schema version (checked by the worker).
+PROTOCOL_FORMAT = 1
+
+#: Line prefix that marks a protocol message on a stdio stream.
+FRAME_PREFIX = "@repro-herd "
+
+
+def frame(message: dict) -> str:
+    """One message as a single framed line (no trailing newline)."""
+    return FRAME_PREFIX + json.dumps(message, separators=(",", ":"))
+
+
+def unframe(line: str) -> Optional[dict]:
+    """Decode a framed line; ``None`` for non-protocol output.
+
+    A line that *claims* the prefix but does not parse is also ``None``
+    (treated as log noise) — a torn final line from a SIGKILLed worker
+    must not take the controller down.
+    """
+    line = line.strip()
+    if not line.startswith(FRAME_PREFIX):
+        return None
+    try:
+        message = json.loads(line[len(FRAME_PREFIX):])
+    except json.JSONDecodeError:
+        return None
+    return message if isinstance(message, dict) else None
+
+
+def shard_index(fingerprint: str, num_shards: int) -> int:
+    """Deterministic shard for one fingerprint (stable across runs).
+
+    Uses the fingerprint's leading hex digits, so the same pending spec
+    always lands on the same shard for a given worker count — re-running
+    an interrupted herd re-shards identically, and the assignment needs
+    no coordination state.
+    """
+    return int(fingerprint[:16], 16) % num_shards
+
+
+def shard_specs(
+    fingerprints: Sequence[str], num_shards: int
+) -> List[List[int]]:
+    """Partition spec indices into shards by fingerprint hash.
+
+    Returns ``num_shards`` lists of indices into ``fingerprints``; some
+    may be empty for tiny grids (the controller skips launching workers
+    for empty shards).
+    """
+    shards: List[List[int]] = [[] for _ in range(num_shards)]
+    for index, fp in enumerate(fingerprints):
+        shards[shard_index(fp, num_shards)].append(index)
+    return shards
+
+
+def make_shard_doc(
+    worker: str,
+    machine: dict,
+    entries: List[dict],
+    heartbeat: float,
+    retries: int,
+) -> dict:
+    """The launch document for one worker.
+
+    ``entries`` pair each spec dict with its controller-computed
+    fingerprint (``{"fingerprint": ..., "spec": ...}``) so worker and
+    controller can never disagree about a spec's content address.
+    """
+    return {
+        "format": PROTOCOL_FORMAT,
+        "worker": worker,
+        "machine": machine,
+        "specs": entries,
+        "heartbeat": heartbeat,
+        "retries": retries,
+    }
+
+
+def check_shard_doc(doc: dict) -> Dict:
+    """Validate a shard document, raising ``ValueError`` on mismatch."""
+    if not isinstance(doc, dict) or doc.get("format") != PROTOCOL_FORMAT:
+        raise ValueError(
+            f"herd shard document format {doc.get('format') if isinstance(doc, dict) else doc!r} "
+            f"!= {PROTOCOL_FORMAT} (controller and worker versions differ?)"
+        )
+    for key in ("worker", "machine", "specs", "heartbeat"):
+        if key not in doc:
+            raise ValueError(f"herd shard document missing {key!r}")
+    return doc

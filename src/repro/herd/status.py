@@ -1,0 +1,219 @@
+"""The herd status view: fleet health rendered from the heartbeat log.
+
+``repro-sim campaign herd status --store DIR`` reads two sources:
+
+- ``<store>/herd/heartbeats.jsonl`` — the controller's event feed
+  (launches, hellos, heartbeats, deaths, reassignments, the final
+  summary). Written fresh by each ``herd run``, it is both the live
+  dashboard's data source and an after-the-fact observability trace of
+  the run.
+- the canonical store via :meth:`Campaign.status` — completed/failed/
+  pending counts plus the store-derived throughput and ETA (the same
+  columns ``repro-sim campaign status`` shows).
+
+The view is a plain table so it works over ssh and in CI logs; pass
+``--watch N`` on the CLI to re-render every N seconds.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.herd.controller import heartbeat_log_path
+
+__all__ = ["WorkerStatus", "HerdStatus", "read_events", "herd_status", "render_status"]
+
+
+@dataclass
+class WorkerStatus:
+    """Last known state of one worker, folded from the event feed."""
+
+    name: str
+    state: str = "launched"
+    assigned: int = 0
+    done: int = 0
+    failed: int = 0
+    total: int = 0
+    current: Optional[str] = None
+    first_beat: Optional[float] = None
+    last_beat: Optional[float] = None
+    first_done: int = 0
+
+    @property
+    def specs_per_min(self) -> Optional[float]:
+        """Throughput from heartbeat progress deltas."""
+        if (
+            self.first_beat is None
+            or self.last_beat is None
+            or self.last_beat <= self.first_beat
+            or self.done <= self.first_done
+        ):
+            return None
+        return (self.done - self.first_done) / (self.last_beat - self.first_beat) * 60.0
+
+    def age(self, now: Optional[float] = None) -> Optional[float]:
+        if self.last_beat is None:
+            return None
+        return (now if now is not None else time.time()) - self.last_beat
+
+
+@dataclass
+class HerdStatus:
+    """Fleet snapshot: per-worker rows plus run-level aggregates."""
+
+    workers: List[WorkerStatus] = field(default_factory=list)
+    heartbeat: float = 1.0
+    transport: str = "local"
+    summary: Optional[dict] = None  # the run's final summary event, if over
+    reassigned: int = 0
+    dead: List[str] = field(default_factory=list)
+
+    @property
+    def finished(self) -> bool:
+        return self.summary is not None
+
+    def orphaned(self) -> int:
+        return self.reassigned
+
+    def live_state(self, worker: WorkerStatus, now: Optional[float] = None) -> str:
+        """live/stale/dead/done for the dashboard's state column."""
+        if worker.state in ("bye", "closed"):
+            return "done"
+        if worker.state == "dead":
+            return "dead"
+        age = worker.age(now)
+        if age is None:
+            return worker.state
+        return "live" if age < max(3 * self.heartbeat, 5.0) else "stale"
+
+
+def read_events(store_root) -> List[dict]:
+    """The heartbeat log's events (torn trailing line tolerated)."""
+    path = heartbeat_log_path(Path(store_root))
+    events: List[dict] = []
+    if not path.exists():
+        return events
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue
+    return events
+
+
+def herd_status(store_root) -> HerdStatus:
+    """Fold the event feed into a :class:`HerdStatus`."""
+    status = HerdStatus()
+    workers: Dict[str, WorkerStatus] = {}
+
+    def worker(name: str) -> WorkerStatus:
+        if name not in workers:
+            workers[name] = WorkerStatus(name=name)
+        return workers[name]
+
+    for event in read_events(store_root):
+        kind = event.get("event")
+        name = event.get("worker")
+        if kind == "launch":
+            w = worker(name)
+            w.assigned = event.get("assigned", 0)
+            w.total = w.assigned
+            status.heartbeat = event.get("heartbeat", status.heartbeat)
+            status.transport = event.get("transport", status.transport)
+        elif kind == "hello":
+            worker(name).state = "running"
+        elif kind == "heartbeat":
+            w = worker(name)
+            ts = event.get("ts")
+            if w.first_beat is None:
+                w.first_beat = ts
+                w.first_done = event.get("done") or 0
+            w.last_beat = ts
+            w.done = event.get("done") or 0
+            w.failed = event.get("failed") or 0
+            w.total = event.get("total") or w.total
+            w.current = event.get("current")
+        elif kind == "reassign":
+            status.reassigned += 1
+            worker(event.get("to")).assigned += 1
+            worker(event.get("to")).total += 1
+        elif kind == "dead":
+            worker(name).state = "dead"
+            status.dead.append(name)
+        elif kind == "bye":
+            w = worker(name)
+            w.state = "bye"
+            if event.get("done") is not None:
+                w.done = event["done"]
+            if event.get("failed") is not None:
+                w.failed = event["failed"]
+        elif kind == "exit":
+            w = worker(name)
+            if w.state == "bye":
+                w.state = "closed"
+        elif kind == "summary":
+            status.summary = event
+    status.workers = sorted(workers.values(), key=lambda w: w.name)
+    return status
+
+
+def render_status(store_root, campaign_status=None, now: Optional[float] = None) -> str:
+    """The dashboard as text: one row per worker, then the aggregates.
+
+    ``campaign_status`` is an optional
+    :class:`~repro.campaign.campaign.CampaignStatus` carrying the
+    store-side completed/pending/throughput/ETA columns.
+    """
+    from repro.experiments.common import format_table
+
+    status = herd_status(store_root)
+    if not status.workers:
+        return f"no herd has run against this store (no {heartbeat_log_path(Path(store_root))})"
+    now = now if now is not None else time.time()
+    rows = []
+    for w in status.workers:
+        rate = w.specs_per_min
+        age = w.age(now)
+        rows.append(
+            [
+                w.name,
+                status.live_state(w, now),
+                f"{w.done}/{w.total}",
+                w.failed,
+                f"{rate:.1f}" if rate is not None else "-",
+                f"{age:.0f}s" if age is not None else "-",
+                (w.current or "-"),
+            ]
+        )
+    lines = [
+        format_table(
+            ["worker", "state", "done", "failed", "specs/min", "beat-age", "current"],
+            rows,
+            width=11,
+        )
+    ]
+    lines.append(f"transport: {status.transport}  heartbeat: {status.heartbeat:g}s")
+    if status.dead:
+        lines.append(
+            f"dead workers: {', '.join(status.dead)} "
+            f"({status.reassigned} specs re-sharded)"
+        )
+    if status.summary is not None:
+        s = status.summary
+        lines.append(
+            "run finished: "
+            f"executed {s.get('executed')}, skipped {s.get('skipped')} (cached), "
+            f"failed {s.get('failed')}, remaining {s.get('remaining')}"
+            + (" [drained]" if s.get("drained") else "")
+        )
+    if campaign_status is not None:
+        lines.append(f"store: {campaign_status.describe()}")
+    return "\n".join(lines)

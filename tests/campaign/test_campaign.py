@@ -214,10 +214,12 @@ class TestStatusAndExport:
         assert result_from_dict(record["result"]) == run.results[0]
 
     def test_export_unknown_format(self, tmp_path):
+        # "parquet" is a real format now (tests/campaign/
+        # test_status_and_export.py covers it, fallback included).
         camp = Campaign.grid(tmp_path / "s", CONFIG, mixes=["Q1"],
                              schemes=["lru"], seeds=[0])
         with pytest.raises(ValueError):
-            camp.export(tmp_path / "out.bin", fmt="parquet")
+            camp.export(tmp_path / "out.bin", fmt="feather")
 
 
 class TestRunnerDirect:

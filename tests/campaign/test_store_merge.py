@@ -1,0 +1,213 @@
+"""ResultStore.merge semantics and concurrent-append locking.
+
+Merge is the herd's consistency keystone: per-worker shard stores fold
+into the canonical store with last-record-wins, byte-identical duplicates
+deduplicate, and *conflicting* payloads for one fingerprint — impossible
+under determinism — fail loudly instead of silently blessing one side.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.campaign.fingerprint import spec_fingerprint
+from repro.campaign.store import (
+    FailedRun,
+    ResultStore,
+    StoreMergeError,
+    result_to_dict,
+)
+from repro.cpu.system import CoreResult
+from repro.experiments.configs import machine
+from repro.experiments.parallel import RunSpec
+from repro.experiments.runner import WorkloadResult
+
+CONFIG = machine(4, instructions=3_000)
+
+
+def make_result(mix="Q1", scheme="lru", antt=1.5):
+    """A synthetic WorkloadResult (no simulation; merge tests only care
+    about payload identity, not physics)."""
+    cores = [
+        CoreResult(
+            name=f"prog{i}", ipc=0.5 + i / 10, cpi=2.0, llc_stall_cpi=0.4,
+            instructions=3_000, cycles=6_000.0, hits=100 + i, misses=10 + i,
+            occupancy_at_finish=0.25,
+        )
+        for i in range(4)
+    ]
+    return WorkloadResult(
+        mix=mix, scheme=scheme, benchmarks=[c.name for c in cores],
+        cores=cores, standalone=[1.0, 1.1, 1.2, 1.3], antt=antt,
+        fairness=0.9, throughput=2.4, weighted_speedup=3.1, intervals=12,
+    )
+
+
+def fp_of(mix, scheme, seed=0):
+    return spec_fingerprint(RunSpec(mix=mix, scheme=scheme, seed=seed), CONFIG)
+
+
+def store_with(tmp_path, name, entries):
+    store = ResultStore(tmp_path / name)
+    for mix, scheme, result in entries:
+        spec = RunSpec(mix=mix, scheme=scheme)
+        store.add_result(spec_fingerprint(spec, CONFIG), spec, result)
+    return store
+
+
+class TestMergeDisjoint:
+    def test_disjoint_shards_union(self, tmp_path):
+        canon = store_with(tmp_path, "canon", [("Q1", "lru", make_result())])
+        shard = store_with(
+            tmp_path, "shard", [("Q7", "lru", make_result(mix="Q7"))]
+        )
+        appended = canon.merge(shard)
+        assert appended == 1
+        assert len(canon) == 2
+        assert fp_of("Q1", "lru") in canon and fp_of("Q7", "lru") in canon
+
+    def test_merge_survives_reopen(self, tmp_path):
+        canon = store_with(tmp_path, "canon", [("Q1", "lru", make_result())])
+        shard = store_with(
+            tmp_path, "shard", [("Q7", "lru", make_result(mix="Q7"))]
+        )
+        canon.merge(shard)
+        reopened = ResultStore(tmp_path / "canon")
+        assert result_to_dict(reopened.get(fp_of("Q7", "lru"))) == result_to_dict(
+            make_result(mix="Q7")
+        )
+
+
+class TestMergeOverlap:
+    def test_identical_payload_deduplicates(self, tmp_path):
+        canon = store_with(tmp_path, "canon", [("Q1", "lru", make_result())])
+        shard = store_with(tmp_path, "shard", [("Q1", "lru", make_result())])
+        before = canon.records_path.read_text()
+        assert canon.merge(shard) == 0
+        assert canon.records_path.read_text() == before  # nothing appended
+
+    def test_conflicting_payload_raises(self, tmp_path):
+        canon = store_with(tmp_path, "canon", [("Q1", "lru", make_result())])
+        shard = store_with(
+            tmp_path, "shard", [("Q1", "lru", make_result(antt=9.9))]
+        )
+        with pytest.raises(StoreMergeError) as excinfo:
+            canon.merge(shard)
+        assert excinfo.value.fingerprint == fp_of("Q1", "lru")
+
+    def test_conflict_theirs_last_record_wins(self, tmp_path):
+        canon = store_with(tmp_path, "canon", [("Q1", "lru", make_result())])
+        shard = store_with(
+            tmp_path, "shard", [("Q1", "lru", make_result(antt=9.9))]
+        )
+        assert canon.merge(shard, on_conflict="theirs") == 1
+        assert canon.get(fp_of("Q1", "lru")).antt == 9.9
+        # ... and the log replays to the same answer.
+        assert ResultStore(tmp_path / "canon").get(fp_of("Q1", "lru")).antt == 9.9
+
+    def test_bad_on_conflict_rejected(self, tmp_path):
+        canon = ResultStore(tmp_path / "canon")
+        with pytest.raises(ValueError):
+            canon.merge(ResultStore(tmp_path / "shard"), on_conflict="mine")
+
+
+class TestMergeFailures:
+    def failure(self, mix="Q1", scheme="lru", attempts=1):
+        spec = RunSpec(mix=mix, scheme=scheme)
+        return FailedRun(
+            fingerprint=spec_fingerprint(spec, CONFIG), spec=spec,
+            error_type="ValueError", message="boom", attempts=attempts,
+        )
+
+    def test_shard_result_supersedes_stored_failure(self, tmp_path):
+        canon = ResultStore(tmp_path / "canon")
+        canon.add_failure(self.failure())
+        shard = store_with(tmp_path, "shard", [("Q1", "lru", make_result())])
+        assert canon.merge(shard) == 1
+        fp = fp_of("Q1", "lru")
+        assert fp in canon
+        assert canon.failure_for(fp) is None
+
+    def test_shard_failure_never_displaces_result(self, tmp_path):
+        canon = store_with(tmp_path, "canon", [("Q1", "lru", make_result())])
+        shard = ResultStore(tmp_path / "shard")
+        shard.add_failure(self.failure())
+        assert canon.merge(shard) == 0
+        assert fp_of("Q1", "lru") in canon
+
+    def test_shard_failure_supersedes_failure(self, tmp_path):
+        canon = ResultStore(tmp_path / "canon")
+        canon.add_failure(self.failure(attempts=1))
+        shard = ResultStore(tmp_path / "shard")
+        shard.add_failure(self.failure(attempts=3))
+        assert canon.merge(shard) == 1
+        assert canon.failure_for(fp_of("Q1", "lru")).attempts == 3
+
+
+class TestMergeTornLine:
+    def test_torn_trailing_line_in_shard_is_dropped(self, tmp_path):
+        shard = store_with(
+            tmp_path, "shard", [("Q1", "lru", make_result()),
+                                ("Q7", "lru", make_result(mix="Q7"))]
+        )
+        with open(shard.records_path, "a") as fh:
+            fh.write('{"record": "result", "fingerprint": "dead')  # SIGKILL
+        canon = ResultStore(tmp_path / "canon")
+        assert canon.merge(ResultStore(shard.root)) == 2
+        assert len(canon) == 2
+        for record in canon.iter_records():
+            json.loads(json.dumps(record))  # every merged line is intact
+
+    def test_trace_files_travel_with_records(self, tmp_path):
+        shard = store_with(tmp_path, "shard", [("Q1", "lru", make_result())])
+        fp = fp_of("Q1", "lru")
+        shard.traces_dir.mkdir(parents=True, exist_ok=True)
+        shard.trace_path(fp).write_text('{"sample": 1}\n')
+        canon = ResultStore(tmp_path / "canon")
+        canon.merge(ResultStore(shard.root))
+        assert canon.trace_path(fp).read_text() == '{"sample": 1}\n'
+
+
+_APPENDER = """
+import sys
+from repro.campaign.store import ResultStore
+from tests.campaign.test_store_merge import CONFIG, make_result
+from repro.campaign.fingerprint import spec_fingerprint
+from repro.experiments.parallel import RunSpec
+
+root, tag, count = sys.argv[1], sys.argv[2], int(sys.argv[3])
+store = ResultStore(root)
+for i in range(count):
+    # A distinct seed per record => distinct fingerprint; the large
+    # telemetry-free payload still spans several kilobytes, which is what
+    # would tear under unlocked interleaved appends.
+    spec = RunSpec(mix="Q1", scheme=tag, seed=i)
+    store.add_result(spec_fingerprint(spec, CONFIG), spec, make_result(scheme=tag))
+"""
+
+
+class TestConcurrentAppend:
+    def test_two_processes_append_without_torn_lines(self, tmp_path):
+        """Regression: pre-flock, concurrent appenders could interleave
+        torn lines mid-file; now every line must parse and every record
+        must survive."""
+        root = tmp_path / "shared"
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", _APPENDER, str(root), tag, "25"],
+                env={**os.environ,
+                     "PYTHONPATH": os.pathsep.join(sys.path)},
+            )
+            for tag in ("lru", "ucp")
+        ]
+        for proc in procs:
+            assert proc.wait(timeout=120) == 0
+        lines = (root / "results.jsonl").read_text().splitlines()
+        assert len(lines) == 50
+        for line in lines:
+            json.loads(line)  # no torn / interleaved lines anywhere
+        reopened = ResultStore(root)
+        assert len(reopened) == 50

@@ -1,0 +1,20 @@
+"""Shared isolation for the herd tests (mirrors tests/campaign)."""
+
+import os
+
+import pytest
+
+from repro.experiments.parallel import JOBS_ENV, STORE_ENV
+from repro.experiments.runner import DEFAULT_STANDALONE_CACHE
+
+
+@pytest.fixture(autouse=True)
+def _isolate_env(monkeypatch):
+    """No ambient jobs/store settings, and a cold stand-alone memo."""
+    monkeypatch.delenv(JOBS_ENV, raising=False)
+    monkeypatch.delenv(STORE_ENV, raising=False)
+    DEFAULT_STANDALONE_CACHE.clear()
+    yield
+    os.environ.pop(JOBS_ENV, None)
+    os.environ.pop(STORE_ENV, None)
+    DEFAULT_STANDALONE_CACHE.clear()

@@ -1,0 +1,71 @@
+"""`repro-sim campaign herd ...` and `repro-sim herd worker` wiring."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_herd_run_defaults(self):
+        args = build_parser().parse_args(
+            ["campaign", "herd", "run", "--store", "s",
+             "--mixes", "Q1", "--schemes", "lru"]
+        )
+        assert args.transport == "local"
+        assert args.workers is None
+        assert args.heartbeat == 1.0
+        assert args.dead_after == 15.0
+        assert args.max_reassign == 2
+        assert args.seeds == [0]
+        assert args.chaos_kill_worker is None  # hidden chaos hook off
+
+    def test_herd_status_flags(self):
+        args = build_parser().parse_args(
+            ["campaign", "herd", "status", "--store", "s", "--watch", "3"]
+        )
+        assert args.herd_command == "status"
+        assert args.watch == 3.0
+
+    def test_top_level_worker_subcommand(self):
+        args = build_parser().parse_args(["herd", "worker"])
+        assert args.herd_top_command == "worker"
+
+    def test_export_offers_parquet(self):
+        args = build_parser().parse_args(
+            ["campaign", "export", "--store", "s", "--format", "parquet",
+             "-o", "out"]
+        )
+        assert args.format == "parquet"
+
+    def test_schemes_required_with_mixes(self):
+        with pytest.raises(SystemExit, match="schemes"):
+            main(["campaign", "herd", "run", "--store", "s", "--mixes", "Q1"])
+
+
+class TestHerdCommands:
+    RUN = ["campaign", "herd", "run", "--mixes", "Q1", "Q4",
+           "--schemes", "lru", "--instructions", "3000",
+           "--workers", "2", "--quiet"]
+
+    def test_run_then_status_then_resume(self, capsys, tmp_path):
+        store = ["--store", str(tmp_path / "s")]
+        assert main(self.RUN + store) == 0
+        out = capsys.readouterr().out
+        assert "executed 2" in out
+
+        assert main(["campaign", "herd", "status"] + store) == 0
+        out = capsys.readouterr().out
+        assert "local-" in out  # per-worker rows
+        assert "run finished: executed 2" in out
+        assert "2/2 completed" in out
+
+        # Resuming the saved campaign (no --mixes) recomputes nothing.
+        assert main(["campaign", "herd", "run", "--workers", "2", "--quiet"]
+                    + store) == 0
+        out = capsys.readouterr().out
+        assert "executed 0" in out and "skipped 2 (cached)" in out
+
+    def test_status_without_herd_run(self, capsys, tmp_path):
+        store = ["--store", str(tmp_path / "never")]
+        assert main(["campaign", "herd", "status"] + store) == 1
+        assert "no herd has run" in capsys.readouterr().out

@@ -1,0 +1,78 @@
+"""Herd over the exec transport: the ssh byte stream, without the ssh.
+
+The exec transport runs ``python -m repro.cli herd worker`` subprocesses
+speaking the framed-stdio protocol — exactly what an ssh worker speaks —
+so this is the ssh path's integration coverage without needing sshd.
+"""
+
+import os
+import sys
+
+import pytest
+
+from repro.campaign.campaign import Campaign
+from repro.campaign.store import ResultStore, result_to_dict
+from repro.experiments.configs import machine
+from repro.herd.controller import HerdController
+from repro.herd.transport import SshTransport, resolve_transport
+
+CONFIG = machine(4, instructions=3_000)
+
+
+@pytest.fixture(autouse=True)
+def _child_pythonpath(monkeypatch):
+    """Worker subprocesses must import repro the way this process does."""
+    monkeypatch.setenv("PYTHONPATH", os.pathsep.join(p for p in sys.path if p))
+
+
+class TestExecHerd:
+    def test_end_to_end_matches_in_process(self, tmp_path):
+        campaign = Campaign.grid(
+            tmp_path / "fleet", CONFIG, mixes=["Q1", "Q4"], schemes=["lru"]
+        )
+        transport = resolve_transport("exec", log_dir=tmp_path / "logs")
+        run = HerdController(campaign, transport=transport, workers=2).run()
+        assert run.executed == 2
+        assert run.failed == 0 and run.remaining == 0 and not run.dead_workers
+
+        serial = Campaign.grid(
+            tmp_path / "serial", CONFIG, mixes=["Q1", "Q4"], schemes=["lru"]
+        )
+        serial.run(jobs=1)
+        ours = {
+            s.fingerprint: result_to_dict(s.result)
+            for s in ResultStore(tmp_path / "fleet").results()
+        }
+        theirs = {
+            s.fingerprint: result_to_dict(s.result)
+            for s in ResultStore(tmp_path / "serial").results()
+        }
+        assert ours == theirs
+
+    def test_stderr_lands_in_log_dir(self, tmp_path):
+        campaign = Campaign.grid(
+            tmp_path / "store", CONFIG, mixes=["Q1"], schemes=["lru"]
+        )
+        transport = resolve_transport("exec", log_dir=tmp_path / "logs")
+        HerdController(campaign, transport=transport, workers=1).run()
+        assert (tmp_path / "logs" / "exec-0.stderr.log").exists()
+
+
+class TestTransportResolution:
+    def test_ssh_requires_hosts(self):
+        with pytest.raises(ValueError, match="hosts"):
+            resolve_transport("ssh")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown transport"):
+            resolve_transport("carrier-pigeon")
+
+    def test_ssh_worker_names_and_argv(self):
+        transport = SshTransport(["alpha", "beta", "alpha"])
+        assert transport.worker_names() == ["alpha", "beta", "alpha#2"]
+        argv = transport.argv_for("alpha#2")
+        assert argv[0] == "ssh"
+        assert "alpha" in argv and argv[-1] == "repro-sim herd worker"
+
+    def test_local_ignores_hosts(self):
+        assert resolve_transport("local", hosts=["ignored"]).name == "local"

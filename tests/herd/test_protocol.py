@@ -1,0 +1,106 @@
+"""Wire protocol: framing, sharding, shard documents."""
+
+import pytest
+
+from repro.herd.protocol import (
+    FRAME_PREFIX,
+    PROTOCOL_FORMAT,
+    check_shard_doc,
+    frame,
+    make_shard_doc,
+    shard_index,
+    shard_specs,
+    unframe,
+)
+
+
+class TestFraming:
+    def test_round_trip(self):
+        message = {"type": "heartbeat", "worker": "w0", "done": 3, "current": None}
+        assert unframe(frame(message)) == message
+
+    def test_round_trip_with_trailing_newline(self):
+        message = {"type": "bye", "worker": "w0"}
+        assert unframe(frame(message) + "\n") == message
+
+    def test_non_protocol_line_is_none(self):
+        assert unframe("some stray print output") is None
+        assert unframe("") is None
+
+    def test_ssh_banner_is_none(self):
+        assert unframe("Warning: Permanently added 'host' to known hosts.") is None
+
+    def test_torn_frame_is_none(self):
+        """A SIGKILLed worker's half-written line is log noise, not a crash."""
+        whole = frame({"type": "result", "data": {"x": 1}})
+        assert unframe(whole[: len(whole) - 4]) is None
+
+    def test_framed_non_dict_is_none(self):
+        assert unframe(FRAME_PREFIX + "[1, 2, 3]") is None
+        assert unframe(FRAME_PREFIX + '"hello"') is None
+
+    def test_frame_is_single_line(self):
+        message = {"type": "log", "text": "line one\nline two"}
+        assert "\n" not in frame(message)
+        assert unframe(frame(message)) == message
+
+
+FPS = [f"{i:016x}{'0' * 48}" for i in range(40)]
+
+
+class TestSharding:
+    def test_deterministic(self):
+        assert shard_specs(FPS, 3) == shard_specs(FPS, 3)
+
+    def test_every_spec_lands_exactly_once(self):
+        shards = shard_specs(FPS, 3)
+        flat = sorted(i for shard in shards for i in shard)
+        assert flat == list(range(len(FPS)))
+
+    def test_stable_under_resume_subset(self):
+        """A fingerprint keeps its shard when other specs complete."""
+        for fp in FPS:
+            assert shard_index(fp, 5) == shard_index(fp, 5)
+        subset = FPS[::3]
+        for fp in subset:
+            assert shard_index(fp, 5) in range(5)
+
+    def test_single_shard_takes_all(self):
+        assert shard_specs(FPS, 1) == [list(range(len(FPS)))]
+
+    def test_empty_shards_allowed(self):
+        shards = shard_specs(FPS[:1], 8)
+        assert sum(len(s) for s in shards) == 1
+        assert sum(1 for s in shards if not s) == 7
+
+
+class TestShardDoc:
+    def doc(self):
+        return make_shard_doc(
+            "w0",
+            {"num_cores": 4},
+            [{"fingerprint": "ab" * 32, "spec": {"mix": "Q1"}}],
+            heartbeat=0.5,
+            retries=1,
+        )
+
+    def test_check_accepts_own_docs(self):
+        doc = self.doc()
+        assert check_shard_doc(doc) is doc
+        assert doc["format"] == PROTOCOL_FORMAT
+
+    def test_version_mismatch_rejected(self):
+        doc = self.doc()
+        doc["format"] = 99
+        with pytest.raises(ValueError, match="format"):
+            check_shard_doc(doc)
+
+    def test_missing_key_rejected(self):
+        doc = self.doc()
+        del doc["machine"]
+        with pytest.raises(ValueError, match="machine"):
+            check_shard_doc(doc)
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ValueError):
+            check_shard_doc(["not", "a", "doc"])
