@@ -11,6 +11,7 @@ from repro.cache.replacement.lru import LRUPolicy
 from repro.cache.replacement.random_policy import RandomPolicy
 from repro.cache.replacement.timestamp_lru import TimestampLRUPolicy
 from repro.cache.replacement.dip import BIPPolicy, DIPPolicy, LIPPolicy
+from repro.cache.replacement.plru import PLRUPolicy
 from repro.cache.replacement.srrip import BRRIPPolicy, DRRIPPolicy, SRRIPPolicy
 
 __all__ = [
@@ -21,6 +22,7 @@ __all__ = [
     "DIPPolicy",
     "BIPPolicy",
     "LIPPolicy",
+    "PLRUPolicy",
     "SRRIPPolicy",
     "BRRIPPolicy",
     "DRRIPPolicy",
@@ -33,6 +35,7 @@ _REGISTRY = {
     "dip": DIPPolicy,
     "bip": BIPPolicy,
     "lip": LIPPolicy,
+    "plru": PLRUPolicy,
     "srrip": SRRIPPolicy,
     "brrip": BRRIPPolicy,
     "drrip": DRRIPPolicy,

@@ -1,0 +1,111 @@
+"""Tree pseudo-LRU — the classic hardware approximation of LRU.
+
+True LRU needs ``log2(assoc!)`` bits per set; hardware L2/L3s instead keep
+``assoc - 1`` tree bits and follow them to a victim (the policy Simu-style
+multi-level models pair with private L1s). Included here as the hierarchy
+baseline: it composes with PriSM's core-selection step like any other
+policy — :meth:`eviction_order` enumerates ways pointer-first, so the
+manager can take the first block of the sampled victim core.
+
+Each internal tree node holds one bit naming the subtree the *next victim*
+lives in; touching a way flips every node on its root path to point at the
+sibling subtree. The per-set state lives in the policy (``CacheBlock`` has
+closed slots), keyed by block identity: a set's blocks are a stable pool
+of ``assoc`` objects, so each object is assigned a physical way index the
+first time it is filled and keeps it for the life of the run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.cache.replacement.base import ReplacementPolicy
+
+__all__ = ["PLRUPolicy"]
+
+
+class _SetState:
+    """Tree bits + way bookkeeping for one cache set."""
+
+    __slots__ = ("bits", "way_of", "blocks")
+
+    def __init__(self, assoc: int) -> None:
+        self.bits: List[int] = [0] * (assoc - 1)
+        self.way_of: Dict[int, int] = {}       # id(block) -> way
+        self.blocks: List[object] = [None] * assoc  # way -> block
+
+
+class PLRUPolicy(ReplacementPolicy):
+    """Tree-based pseudo-LRU over power-of-two associativities.
+
+    Node ``i``'s children are ``2i + 1`` and ``2i + 2``; leaves
+    ``assoc - 1 .. 2 * assoc - 2`` map to ways ``0 .. assoc - 1``. A bit
+    value of ``b`` at a node means the next victim is in child ``b``.
+    """
+
+    name = "plru"
+    recency_ordered = False
+
+    def bind(self, cache) -> None:
+        super().bind(cache)
+        assoc = cache.geometry.assoc
+        if assoc & (assoc - 1):
+            raise ValueError(f"PLRU needs a power-of-two associativity, got {assoc}")
+        self._assoc = assoc
+        self._states: List[_SetState] = [
+            _SetState(assoc) for _ in range(cache.geometry.num_sets)
+        ]
+
+    # -- tree mechanics -----------------------------------------------------
+
+    def _touch(self, state: _SetState, way: int) -> None:
+        """Point every node on ``way``'s root path away from it."""
+        node = self._assoc - 1 + way
+        bits = state.bits
+        while node:
+            parent = (node - 1) >> 1
+            # Coming up from child b: the next victim is the sibling 1 - b.
+            bits[parent] = 1 if node == 2 * parent + 1 else 0
+            node = parent
+
+    def _way_order(self, state: _SetState) -> List[int]:
+        """All ways, victim-first (pointer subtree before its sibling)."""
+        order: List[int] = []
+        leaves = self._assoc - 1
+        stack = [0]
+        while stack:
+            node = stack.pop()
+            if node >= leaves:
+                order.append(node - leaves)
+                continue
+            bit = state.bits[node]
+            # LIFO stack: push the non-pointer child first so the pointer
+            # subtree is fully enumerated ahead of its sibling.
+            stack.append(2 * node + 2 - bit)
+            stack.append(2 * node + 1 + bit)
+        return order
+
+    # -- policy hooks -------------------------------------------------------
+
+    def on_hit(self, cset, block, core: int) -> None:
+        state = self._states[cset.index]
+        self._touch(state, state.way_of[id(block)])
+        cset.promote(block)  # keep the recency list sane for diagnostics
+
+    def on_fill(self, cset, block, core: int) -> None:
+        state = self._states[cset.index]
+        way = state.way_of.get(id(block))
+        if way is None:
+            way = len(state.way_of)
+            state.way_of[id(block)] = way
+            state.blocks[way] = block
+        self._touch(state, way)
+
+    def eviction_order(self, cset) -> List:
+        state = self._states[cset.index]
+        blocks = state.blocks
+        return [
+            blocks[way]
+            for way in self._way_order(state)
+            if blocks[way] is not None and blocks[way].valid
+        ]

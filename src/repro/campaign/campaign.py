@@ -55,32 +55,53 @@ MANIFEST_NAME = "campaign.json"
 MANIFEST_FORMAT = 1
 
 
+def _geometry_to_dict(geometry) -> Optional[dict]:
+    if geometry is None:
+        return None
+    return {
+        "size_bytes": geometry.size_bytes,
+        "block_bytes": geometry.block_bytes,
+        "assoc": geometry.assoc,
+    }
+
+
+def _geometry_from_dict(data: Optional[dict]) -> Optional[CacheGeometry]:
+    if data is None:
+        return None
+    return CacheGeometry(
+        size_bytes=data["size_bytes"],
+        block_bytes=data["block_bytes"],
+        assoc=data["assoc"],
+    )
+
+
 def machine_to_dict(config: MachineConfig) -> dict:
     return {
         "num_cores": config.num_cores,
-        "geometry": {
-            "size_bytes": config.geometry.size_bytes,
-            "block_bytes": config.geometry.block_bytes,
-            "assoc": config.geometry.assoc,
-        },
+        "geometry": _geometry_to_dict(config.geometry),
         "num_controllers": config.num_controllers,
         "instructions": config.instructions,
         "workload_scale": config.workload_scale,
+        "l1_geometry": _geometry_to_dict(config.l1_geometry),
+        "l1_inclusive": config.l1_inclusive,
+        "dram_banks": config.dram_banks,
+        "dram_row_blocks": config.dram_row_blocks,
     }
 
 
 def machine_from_dict(data: dict) -> MachineConfig:
-    geometry = data["geometry"]
+    # Hierarchy fields use .get defaults so manifests written before the
+    # multi-level machine still load.
     return MachineConfig(
         num_cores=data["num_cores"],
-        geometry=CacheGeometry(
-            size_bytes=geometry["size_bytes"],
-            block_bytes=geometry["block_bytes"],
-            assoc=geometry["assoc"],
-        ),
+        geometry=_geometry_from_dict(data["geometry"]),
         num_controllers=data["num_controllers"],
         instructions=data["instructions"],
         workload_scale=data["workload_scale"],
+        l1_geometry=_geometry_from_dict(data.get("l1_geometry")),
+        l1_inclusive=data.get("l1_inclusive", False),
+        dram_banks=data.get("dram_banks", 1),
+        dram_row_blocks=data.get("dram_row_blocks", 0),
     )
 
 

@@ -18,9 +18,10 @@ guarantee):
   ``None`` — exactly the pairs :func:`~repro.experiments.runner.run_workload`
   cannot distinguish.
 - The machine contributes only fields the run reads: core count,
-  geometry, controller count and workload scale. Its default instruction
-  budget is *not* hashed separately (it is already folded into the
-  effective instructions).
+  geometry, controller count, workload scale, the private-L1 hierarchy
+  (geometry + inclusion mode) and the DRAM bank/row configuration. Its
+  default instruction budget is *not* hashed separately (it is already
+  folded into the effective instructions).
 - ``spec.telemetry`` is excluded: recording a trace observes a run, it
   does not change it.
 - ``spec.backend`` is excluded: the classic and vector engines are
@@ -44,8 +45,11 @@ from repro.workloads.registry import WorkloadSource, resolve_workload
 __all__ = ["FINGERPRINT_VERSION", "canonical_payload", "spec_fingerprint"]
 
 #: Bump when the canonicalisation rules change (old fingerprints must not
-#: collide with new ones).
-FINGERPRINT_VERSION = 1
+#: collide with new ones). v2: the machine payload grew the cache
+#: hierarchy (private L1, inclusion mode) and DRAM bank/row fields, and
+#: the DRAM service-occupancy timing fix changed results for otherwise
+#: identical specs — so every v1 digest had to be invalidated anyway.
+FINGERPRINT_VERSION = 2
 
 
 def _canonical_mix(mix) -> Union[str, list, dict]:
@@ -83,14 +87,24 @@ def canonical_payload(spec: RunSpec, config: MachineConfig) -> dict:
         ),
         "machine": {
             "num_cores": config.num_cores,
-            "geometry": {
-                "size_bytes": config.geometry.size_bytes,
-                "block_bytes": config.geometry.block_bytes,
-                "assoc": config.geometry.assoc,
-            },
+            "geometry": _geometry_payload(config.geometry),
             "num_controllers": config.num_controllers,
             "workload_scale": config.workload_scale,
+            "l1_geometry": _geometry_payload(config.l1_geometry),
+            "l1_inclusive": config.l1_inclusive,
+            "dram_banks": config.dram_banks,
+            "dram_row_blocks": config.dram_row_blocks,
         },
+    }
+
+
+def _geometry_payload(geometry) -> Union[dict, None]:
+    if geometry is None:
+        return None
+    return {
+        "size_bytes": geometry.size_bytes,
+        "block_bytes": geometry.block_bytes,
+        "assoc": geometry.assoc,
     }
 
 

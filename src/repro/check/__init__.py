@@ -17,11 +17,24 @@ holds the machinery that keeps it honest:
   random (geometry, mix, seed, scheme) cases through both simulators and
   asserts access-for-access equality of hits, victim choices and the
   installed eviction probabilities.
+- :mod:`repro.check.belady` — the **offline Belady/MIN optimum** over
+  recorded post-L1 traces: an upper bound every online policy is
+  certified against (``assert_belady_bound``), and the backing of the
+  ``belady`` scheme name in the experiment registry.
 
 See ``docs/testing.md`` for the full invariant list and how to run the
 fuzzer locally (``repro-sim check fuzz``).
 """
 
+from repro.check.belady import (
+    BeladyCache,
+    NaiveBelady,
+    ReplayResult,
+    assert_belady_bound,
+    belady_workload_run,
+    next_use_indices,
+    replay_trace,
+)
 from repro.check.differential import (
     CaseResult,
     DifferentialCase,
@@ -41,19 +54,26 @@ from repro.check.reference import (
 )
 
 __all__ = [
+    "BeladyCache",
     "CaseResult",
     "DifferentialCase",
     "Divergence",
     "InvariantChecker",
     "InvariantViolation",
+    "NaiveBelady",
     "REFERENCE_SCHEMES",
     "ReferenceCache",
+    "ReplayResult",
     "SyntheticPerf",
+    "assert_belady_bound",
     "attach_checker",
+    "belady_workload_run",
     "build_reference",
     "compare_run",
     "fuzz",
     "make_stream",
+    "next_use_indices",
     "random_case",
+    "replay_trace",
     "run_case",
 ]

@@ -23,7 +23,12 @@ audits the whole cache:
     exactly 1.0 at the top;
 ``shadow-monotone``
     the shadow-tag interval counters only ever grow within an interval
-    (they may reset only at an interval boundary).
+    (they may reset only at an interval boundary);
+``inclusion``
+    with a hierarchy bound via :meth:`InvariantChecker.bind_hierarchy`
+    and the system running inclusive, every block resident in any
+    private L1 is also resident in the shared LLC (the back-invalidate
+    path never leaks a stale L1 line).
 
 Violations raise :class:`InvariantViolation` — a subclass of
 ``AssertionError``, so plain ``assert``-style handling works, but typed
@@ -72,6 +77,17 @@ class InvariantChecker:
         self.checks_run = 0
         self._countdown = every
         self._shadow_floor: Optional[Tuple[int, ...]] = None
+        self._system = None
+        self._inflight: Optional[Tuple[int, int, int]] = None
+
+    def bind_hierarchy(self, system) -> None:
+        """Audit ``system``'s cache hierarchy too (inclusion invariant).
+
+        Call after constructing the :class:`~repro.cpu.system.MultiCoreSystem`
+        that owns the private L1s in front of the audited LLC; only
+        meaningful when the system runs with ``inclusive=True``.
+        """
+        self._system = system
 
     # -- monitor hooks ------------------------------------------------------
 
@@ -79,7 +95,12 @@ class InvariantChecker:
         self._countdown -= 1
         if self._countdown <= 0:
             self._countdown = self.every
+            # The monitor fires mid-access: on an LLC miss the owner's L1
+            # has already filled this block but the LLC has not — exempt
+            # exactly that block from the inclusion audit.
+            self._inflight = (core, set_index, tag)
             self.check_now()
+            self._inflight = None
 
     def end_interval(self) -> None:
         # The shadow monitor registered before us has just zeroed its
@@ -121,6 +142,31 @@ class InvariantChecker:
         shadow = getattr(cache.scheme, "shadow", None)
         if shadow is not None:
             self._check_shadow_monotone(shadow)
+
+        system = self._system
+        if system is not None and system.inclusive and system.l1s is not None:
+            self._check_inclusion(system)
+
+    def _check_inclusion(self, system) -> None:
+        cache = self.cache
+        geometry = cache.geometry
+        inflight = self._inflight
+        inflight_addr = (
+            geometry.block_addr(inflight[1], inflight[2])
+            if inflight is not None
+            else None
+        )
+        for core, l1 in enumerate(system.l1s):
+            for addr in l1.resident_addrs():
+                if addr == inflight_addr and core == inflight[0]:
+                    continue
+                cset = cache.sets[geometry.set_index(addr)]
+                if cset.lookup(geometry.tag(addr)) is None:
+                    raise InvariantViolation(
+                        "inclusion",
+                        f"core {core} holds block {addr:#x} in its L1 but the "
+                        "block is not resident in the (inclusive) shared LLC",
+                    )
 
     def _check_distribution(self, manager, num_cores: int) -> None:
         probabilities = manager.probabilities

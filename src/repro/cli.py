@@ -55,6 +55,31 @@ def build_parser() -> argparse.ArgumentParser:
         "in the store are not recomputed, new runs persist into it "
         "(default: the REPRO_STORE environment variable)",
     )
+    # Hierarchy knobs, shared by run/compare: private L1s + banked DRAM.
+    hier_parent = argparse.ArgumentParser(add_help=False)
+    hier_parent.add_argument(
+        "--l1",
+        choices=["inclusive", "non-inclusive"],
+        default=None,
+        help="put a private L1 in front of each core (inclusive = LLC "
+        "evictions back-invalidate the owner's L1); default: LLC-only",
+    )
+    hier_parent.add_argument(
+        "--l1-bytes", type=int, default=None,
+        help="unscaled per-core L1 capacity (default 64 KiB, scaled like "
+        "the LLC)",
+    )
+    hier_parent.add_argument(
+        "--l1-assoc", type=int, default=2, help="L1 associativity (power of two)"
+    )
+    hier_parent.add_argument(
+        "--dram-banks", type=int, default=1,
+        help="DRAM banks per memory controller",
+    )
+    hier_parent.add_argument(
+        "--dram-row-blocks", type=int, default=0,
+        help="cache blocks per DRAM row (0 = flat DRAM latency)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     list_p = sub.add_parser("list", help="list schemes, mixes, benchmarks, experiments")
@@ -65,7 +90,9 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["all", "schemes", "mixes", "benchmarks", "experiments"],
     )
 
-    run_p = sub.add_parser("run", help="run one mix under one scheme")
+    run_p = sub.add_parser(
+        "run", help="run one mix under one scheme", parents=[hier_parent]
+    )
     run_p.add_argument("--mix", required=True,
                        help="mix name (e.g. Q7), workload reference "
                        "(e.g. tenants:web8), or comma-separated benchmarks")
@@ -96,12 +123,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     cmp_p = sub.add_parser(
-        "compare", help="run one mix under several schemes", parents=[jobs_parent]
+        "compare",
+        help="run one mix under several schemes (include 'belady' to get "
+        "a per-scheme miss gap to the offline optimum)",
+        parents=[jobs_parent, hier_parent],
     )
     cmp_p.add_argument("schemes", nargs="+", help="scheme registry names")
     cmp_p.add_argument("--mix", required=True)
     cmp_p.add_argument("--instructions", type=int, default=None)
     cmp_p.add_argument("--seed", type=int, default=0)
+    cmp_p.add_argument("--scale-factor", type=int, default=64,
+                       help="cache scaling divisor")
 
     exp_p = sub.add_parser(
         "experiment", help="regenerate a paper figure", parents=[jobs_parent]
@@ -355,6 +387,18 @@ def _run_options(args, progress=None, telemetry=False) -> RunOptions:
     )
 
 
+def _machine_kwargs(args) -> dict:
+    """The hierarchy flags of run/compare as machine() keyword arguments."""
+    return {
+        "scale_factor": getattr(args, "scale_factor", 64),
+        "l1": getattr(args, "l1", None),
+        "l1_bytes": getattr(args, "l1_bytes", None),
+        "l1_assoc": getattr(args, "l1_assoc", 2),
+        "dram_banks": getattr(args, "dram_banks", 1),
+        "dram_row_blocks": getattr(args, "dram_row_blocks", 0),
+    }
+
+
 def _resolve(mix: str):
     """Mix argument: a registry name, a ``family:spec`` workload reference
     (``tenants:web8``), or comma-separated benchmark names."""
@@ -426,7 +470,7 @@ def cmd_list(args) -> int:
 
 def cmd_run(args) -> int:
     mix, cores = _resolve(args.mix)
-    config = machine(cores, scale_factor=args.scale_factor)
+    config = machine(cores, **_machine_kwargs(args))
     telemetry = False
     if args.telemetry_out:
         from repro.telemetry import TelemetryRecorder, open_sink
@@ -449,7 +493,7 @@ def cmd_compare(args) -> int:
     from repro.experiments.common import compare_schemes
 
     mix, cores = _resolve(args.mix)
-    config = machine(cores)
+    config = machine(cores, **_machine_kwargs(args))
     results = compare_schemes(
         [mix] if isinstance(mix, str) else [tuple(mix)],
         config,
@@ -459,12 +503,23 @@ def cmd_compare(args) -> int:
         jobs=args.jobs,
     )
     per_scheme = next(iter(results.values()))
-    rows = [
-        [scheme, result.antt, result.fairness, result.throughput]
-        for scheme, result in per_scheme.items()
-    ]
+    belady = per_scheme.get("belady")
+    headers = ["scheme", "ANTT", "fairness", "throughput", "misses"]
+    if belady is not None:
+        # Miss gap to the offline optimum. Each scheme runs its own seeded
+        # stream here; the shared-trace headroom study is `experiment
+        # headroom`, which replays every scheme on one recorded trace.
+        headers.append("vs-belady")
+        optimal_misses = sum(belady.misses())
+    rows = []
+    for scheme, result in per_scheme.items():
+        misses = sum(result.misses())
+        row = [scheme, result.antt, result.fairness, result.throughput, misses]
+        if belady is not None:
+            row.append(misses - optimal_misses)
+        rows.append(row)
     print(f"machine {config} | mix {args.mix}")
-    print(format_table(["scheme", "ANTT", "fairness", "throughput"], rows, width=14))
+    print(format_table(headers, rows, width=14))
     return 0
 
 

@@ -1,16 +1,19 @@
-"""Optional private L1 data caches.
+"""Private per-core L1 data caches.
 
 The default workload calibration treats each benchmark's stream as the
 *post-L1* (LLC-visible) reference stream, so the multicore system runs
-without an L1 model. When replaying raw traces (every load/store), enable
-per-core L1 filtering via ``MultiCoreSystem(l1_geometry=...)``: hits are
-absorbed at L1 cost and never reach the shared LLC — matching Table 2's
-private 64 KB L1s in front of the shared L2.
+without an L1 model. Enable per-core L1 filtering via
+``MultiCoreSystem(l1_geometry=...)`` (or ``machine(..., l1="inclusive")``
+at the config layer): hits are absorbed at L1 cost and never reach the
+shared LLC — matching Table 2's private 64 KB L1s in front of the shared
+L2. Under an *inclusive* hierarchy the system back-invalidates the L1
+copy whenever the LLC evicts a block (see
+:class:`~repro.cpu.system.MultiCoreSystem`).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, Iterator, List
 
 from repro.cache.geometry import CacheGeometry
 
@@ -20,17 +23,33 @@ __all__ = ["L1Cache"]
 class L1Cache:
     """A small private LRU cache (tag-only, timing handled by the caller).
 
+    Each set is an insertion-ordered dict of resident tags (oldest first),
+    so probe, promote, fill and evict are all O(1) — the behaviour is
+    bit-identical to the classic MRU-first tag-list formulation, without
+    its O(assoc) ``list.remove`` on every hot-set probe.
+
     Args:
         geometry: L1 geometry (e.g. the scaled 1 KB 2-way counterpart of
             the paper's 64 KB 2-way L1).
+
+    Raises:
+        ValueError: if the geometry's set count is not a power of two —
+            the set index is extracted with a bit mask, so a non-pow2
+            count would silently alias sets.
     """
 
     def __init__(self, geometry: CacheGeometry) -> None:
+        num_sets = geometry.num_sets
+        if num_sets < 1 or num_sets & (num_sets - 1):
+            raise ValueError(
+                f"L1 set count must be a power of two, got {num_sets} "
+                f"(geometry {geometry})"
+            )
         self.geometry = geometry
-        self._set_mask = geometry.num_sets - 1
+        self._set_mask = num_sets - 1
         self._tag_shift = self._set_mask.bit_length()
-        # Per-set tag lists, MRU first.
-        self._sets: List[List[int]] = [[] for _ in range(geometry.num_sets)]
+        # Per-set resident tags, insertion-ordered oldest (LRU) first.
+        self._sets: List[Dict[int, None]] = [{} for _ in range(num_sets)]
         self.hits = 0
         self.misses = 0
 
@@ -38,26 +57,21 @@ class L1Cache:
         """Probe-and-update; returns True on an L1 hit."""
         tags = self._sets[block_addr & self._set_mask]
         tag = block_addr >> self._tag_shift
-        try:
-            tags.remove(tag)
-            hit = True
+        if tag in tags:
+            del tags[tag]  # re-insert below: newest = MRU
             self.hits += 1
-        except ValueError:
-            hit = False
+            hit = True
+        else:
             self.misses += 1
+            hit = False
             if len(tags) >= self.geometry.assoc:
-                tags.pop()
-        tags.insert(0, tag)
+                del tags[next(iter(tags))]  # oldest entry = LRU victim
+        tags[tag] = None
         return hit
 
     def invalidate(self, block_addr: int) -> None:
         """Back-invalidate one block (inclusive-hierarchy support)."""
-        tags = self._sets[block_addr & self._set_mask]
-        tag = block_addr >> self._tag_shift
-        try:
-            tags.remove(tag)
-        except ValueError:
-            pass
+        self._sets[block_addr & self._set_mask].pop(block_addr >> self._tag_shift, None)
 
     def hit_rate(self) -> float:
         total = self.hits + self.misses
@@ -67,3 +81,17 @@ class L1Cache:
         """Whether the block is currently cached (no state change)."""
         tags = self._sets[block_addr & self._set_mask]
         return (block_addr >> self._tag_shift) in tags
+
+    def resident_addrs(self) -> Iterator[int]:
+        """All currently resident block addresses (no state change).
+
+        Used by the inclusion invariant: in an inclusive hierarchy every
+        address yielded here must also be LLC-resident.
+        """
+        for set_index, tags in enumerate(self._sets):
+            for tag in tags:
+                yield (tag << self._tag_shift) | set_index
+
+    def resident_blocks(self) -> int:
+        """Number of resident blocks across all sets."""
+        return sum(len(tags) for tags in self._sets)

@@ -1,49 +1,120 @@
 """DRAM latency and memory-controller contention.
 
 A deliberately coarse model — the paper's results hinge on LLC hit/miss
-counts, not DRAM microarchitecture — but it captures the one effect the
+counts, not DRAM microarchitecture — but it captures the two effects the
 motivation section needs: with more cores behind the same controllers,
-queueing inflates miss latency, so cache misses hurt more at higher core
-counts. Requests hash across ``num_controllers`` controllers (the paper
+queueing inflates miss latency (so cache misses hurt more at higher core
+counts), and with row-buffer state enabled, spatial locality in the miss
+stream is rewarded while conflicting streams pay the precharge+activate
+penalty. Requests hash across ``num_controllers`` controllers (the paper
 scales 1/2/4/8 with core count, Table 2); each controller serves one
 request every ``service_cycles``.
+
+The bank/row-buffer extension is off by default (``row_blocks=0``): every
+request then pays the flat ``base_latency``, preserving the calibration
+of the catalog workloads. With ``row_blocks > 0``, consecutive block
+addresses map to the same DRAM row until ``row_blocks`` blocks are
+spanned, rows stripe across ``banks_per_controller`` banks, and each
+bank remembers its open row: a request to the open row pays
+``row_hit_latency``, a request to a different row pays
+``row_conflict_latency`` (precharge + activate + access), and the first
+touch of an idle bank pays ``base_latency``.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List, Tuple
 
 __all__ = ["MemoryModel"]
 
 
 class MemoryModel:
-    """Bank-of-controllers queueing model.
+    """Bank-of-controllers queueing model with optional row-buffer state.
 
     Args:
         num_controllers: parallel memory controllers.
-        base_latency: unloaded DRAM round-trip, in core cycles.
+        base_latency: unloaded DRAM round-trip, in core cycles (also the
+            closed-bank latency when the row model is enabled).
         service_cycles: controller occupancy per request (inverse bandwidth).
+        banks_per_controller: DRAM banks behind each controller (row state
+            is kept per bank; only meaningful with ``row_blocks > 0``).
+        row_blocks: cache blocks per DRAM row. ``0`` (default) disables
+            the row-buffer model entirely — flat ``base_latency``.
+        row_hit_latency: latency when the request's row is already open
+            (default ``0.6 * base_latency``).
+        row_conflict_latency: latency when the bank has a *different* row
+            open (default ``1.4 * base_latency``).
     """
 
     def __init__(
-        self, num_controllers: int = 1, base_latency: float = 200.0, service_cycles: float = 24.0
+        self,
+        num_controllers: int = 1,
+        base_latency: float = 200.0,
+        service_cycles: float = 24.0,
+        banks_per_controller: int = 1,
+        row_blocks: int = 0,
+        row_hit_latency: float = None,
+        row_conflict_latency: float = None,
     ) -> None:
         if num_controllers < 1:
             raise ValueError(f"num_controllers must be >= 1, got {num_controllers}")
         if base_latency <= 0 or service_cycles <= 0:
             raise ValueError("latencies must be positive")
+        if banks_per_controller < 1:
+            raise ValueError(
+                f"banks_per_controller must be >= 1, got {banks_per_controller}"
+            )
+        if row_blocks < 0:
+            raise ValueError(f"row_blocks must be >= 0, got {row_blocks}")
         self.num_controllers = num_controllers
         self.base_latency = base_latency
         self.service_cycles = service_cycles
+        self.banks_per_controller = banks_per_controller
+        self.row_blocks = row_blocks
+        self.row_hit_latency = (
+            row_hit_latency if row_hit_latency is not None else 0.6 * base_latency
+        )
+        self.row_conflict_latency = (
+            row_conflict_latency
+            if row_conflict_latency is not None
+            else 1.4 * base_latency
+        )
+        if self.row_hit_latency <= 0 or self.row_conflict_latency <= 0:
+            raise ValueError("row latencies must be positive")
         self._busy_until: List[float] = [0.0] * num_controllers
+        #: Open row per (controller, bank); absent = bank idle.
+        self._open_row: Dict[Tuple[int, int], int] = {}
         self.requests = 0
         self.total_queue_delay = 0.0
+        self.row_hits = 0
+        self.row_conflicts = 0
+
+    def _dram_latency(self, block_addr: int, controller: int) -> float:
+        """Latency of the DRAM access itself (row-buffer state update)."""
+        if self.row_blocks == 0:
+            return self.base_latency
+        # Controller-interleaved chunk index: consecutive blocks on one
+        # controller walk consecutive positions within a row.
+        chunk = block_addr // self.num_controllers
+        bank = (chunk // self.row_blocks) % self.banks_per_controller
+        row = chunk // (self.row_blocks * self.banks_per_controller)
+        key = (controller, bank)
+        open_row = self._open_row.get(key)
+        self._open_row[key] = row
+        if open_row is None:
+            return self.base_latency
+        if open_row == row:
+            self.row_hits += 1
+            return self.row_hit_latency
+        self.row_conflicts += 1
+        return self.row_conflict_latency
 
     def miss_latency(self, block_addr: int, now: float) -> float:
         """Latency of a miss issued at cycle ``now`` to ``block_addr``.
 
-        Returns the total latency (queueing + DRAM) and advances the
-        owning controller's busy horizon.
+        Returns the total latency — queueing delay, the request's own
+        controller occupancy (``service_cycles``), and the DRAM access —
+        and advances the owning controller's busy horizon.
         """
         controller = block_addr % self.num_controllers
         start = max(now, self._busy_until[controller])
@@ -51,8 +122,13 @@ class MemoryModel:
         queue_delay = start - now
         self.requests += 1
         self.total_queue_delay += queue_delay
-        return queue_delay + self.base_latency
+        return queue_delay + self.service_cycles + self._dram_latency(block_addr, controller)
 
     def mean_queue_delay(self) -> float:
         """Average queueing delay per request so far."""
         return self.total_queue_delay / self.requests if self.requests else 0.0
+
+    def row_hit_rate(self) -> float:
+        """Fraction of row-resolved requests that hit the open row."""
+        resolved = self.row_hits + self.row_conflicts
+        return self.row_hits / resolved if resolved else 0.0

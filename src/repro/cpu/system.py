@@ -30,7 +30,13 @@ from repro.cpu.memory import MemoryModel
 from repro.util.rng import derive_seed
 from repro.workloads.benchmark import BenchmarkProfile
 
-__all__ = ["MultiCoreSystem", "SystemResult", "CoreResult", "run_standalone"]
+__all__ = [
+    "MultiCoreSystem",
+    "SystemResult",
+    "CoreResult",
+    "RecordedTrace",
+    "run_standalone",
+]
 
 #: Address-space stride between cores; a power of two far above any
 #: footprint, and a multiple of every set count, so per-core streams map
@@ -51,6 +57,30 @@ class CoreResult:
     hits: int
     misses: int
     occupancy_at_finish: float
+
+
+@dataclass
+class RecordedTrace:
+    """The post-L1 (LLC-visible) access stream of one shared run.
+
+    One entry per LLC access, in global issue order. ``gaps[i]`` is the
+    stream gap of the access itself; ``l1_gaps[i]``/``l1_lats[i]``
+    accumulate the instructions and absorbed latency of the L1 hits the
+    core served since its previous LLC access, so a replay can reproduce
+    the core's cycle accounting exactly
+    (:meth:`~repro.cpu.core_model.CoreTimingModel.advance_local` is linear
+    in both). This is the input format of :mod:`repro.check.belady`.
+    """
+
+    num_cores: int
+    cores: List[int] = field(default_factory=list)
+    addrs: List[int] = field(default_factory=list)
+    gaps: List[int] = field(default_factory=list)
+    l1_gaps: List[int] = field(default_factory=list)
+    l1_lats: List[float] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.addrs)
 
 
 @dataclass
@@ -107,6 +137,10 @@ class MultiCoreSystem:
         telemetry: a :class:`~repro.telemetry.TelemetryRecorder` to bind,
             giving it per-interval instruction/IPC counters and per-core
             finish events on top of the cache's interval samples.
+        record_trace: collect the post-L1 access stream into
+            ``self.recorded_trace`` (a :class:`RecordedTrace`) while
+            running — the input of the offline Belady baseline
+            (:mod:`repro.check.belady`).
 
     The system registers itself as the scheme's performance-counter
     provider when the scheme exposes a ``perf`` attribute (PriSM does).
@@ -124,6 +158,7 @@ class MultiCoreSystem:
         l1_hit_latency: float = 2.0,
         inclusive: bool = False,
         telemetry=None,
+        record_trace: bool = False,
     ) -> None:
         if len(profiles) != cache.num_cores:
             raise ValueError(
@@ -148,6 +183,12 @@ class MultiCoreSystem:
             self.l1s = None
         self.l1_hit_latency = l1_hit_latency
         self.inclusive = inclusive and self.l1s is not None
+        if record_trace:
+            self.recorded_trace = RecordedTrace(num_cores=cache.num_cores)
+            self._pending_l1_gap = [0] * cache.num_cores
+            self._pending_l1_lat = [0.0] * cache.num_cores
+        else:
+            self.recorded_trace = None
         self._snap_cycles = [0.0] * cache.num_cores
         self._snap_instructions = [0] * cache.num_cores
         self._snap_stall = [0.0] * cache.num_cores
@@ -213,6 +254,7 @@ class MultiCoreSystem:
         cache = self.cache
         memory = self.memory
         recorder = self.telemetry
+        trace = self.recorded_trace
         run_start = perf_counter()
         start_accesses = self.total_accesses
         occupancy_at_finish = [0.0] * cache.num_cores
@@ -227,6 +269,9 @@ class MultiCoreSystem:
             addr += cid * _CORE_ADDRESS_STRIDE
             if self.l1s is not None and self.l1s[cid].access(addr):
                 core.advance_local(gap, self.l1_hit_latency)
+                if trace is not None:
+                    self._pending_l1_gap[cid] += gap
+                    self._pending_l1_lat[cid] += self.l1_hit_latency
                 if not core.finished and core.instructions >= instructions_per_core:
                     core.mark_finished()
                     occupancy_at_finish[cid] = (
@@ -244,6 +289,14 @@ class MultiCoreSystem:
                         break
                 heapq.heappush(heap, (core.cycles, cid))
                 continue
+            if trace is not None:
+                trace.cores.append(cid)
+                trace.addrs.append(addr)
+                trace.gaps.append(gap)
+                trace.l1_gaps.append(self._pending_l1_gap[cid])
+                trace.l1_lats.append(self._pending_l1_lat[cid])
+                self._pending_l1_gap[cid] = 0
+                self._pending_l1_lat[cid] = 0.0
             result = cache.access(cid, addr)
             self.total_accesses += 1
             if self.inclusive and result.evicted_core >= 0:
@@ -318,11 +371,18 @@ def run_standalone(
     seed: int = 0,
     scale: float = 1.0,
     llc_hit_latency: float = 8.0,
+    memory: Optional[MemoryModel] = None,
+    l1_geometry: Optional[CacheGeometry] = None,
+    l1_hit_latency: float = 2.0,
+    inclusive: bool = False,
 ) -> CoreResult:
     """Run one program alone on the whole cache (the ``IPC^SP`` runs).
 
     The stand-alone machine keeps the shared configuration's memory
-    controllers, matching how the paper obtains per-program baselines.
+    controllers — and, when the shared machine models a hierarchy, its
+    private-L1 and DRAM-bank configuration (pass ``memory=`` to override
+    the flat default) — matching how the paper obtains per-program
+    baselines.
     """
     cache = SharedCache(geometry, num_cores=1, policy=policy_factory())
     system = MultiCoreSystem(
@@ -331,6 +391,9 @@ def run_standalone(
         seed=seed,
         scale=scale,
         llc_hit_latency=llc_hit_latency,
-        memory=MemoryModel(num_controllers=num_controllers),
+        memory=memory if memory is not None else MemoryModel(num_controllers=num_controllers),
+        l1_geometry=l1_geometry,
+        l1_hit_latency=l1_hit_latency,
+        inclusive=inclusive,
     )
     return system.run(instructions).cores[0]

@@ -10,11 +10,12 @@ working sets together preserves the contention structure (DESIGN.md §5).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.cache.geometry import CacheGeometry
 from repro.util.validate import check_power_of_two
 
-__all__ = ["MachineConfig", "machine", "PAPER_LLC"]
+__all__ = ["MachineConfig", "machine", "PAPER_LLC", "DEFAULT_L1_BYTES"]
 
 #: Paper Table 2: core count -> (LLC bytes, associativity, controllers).
 PAPER_LLC = {
@@ -29,6 +30,11 @@ PAPER_LLC = {
 #: Python time).
 DEFAULT_INSTRUCTIONS = {4: 2_000_000, 8: 1_500_000, 16: 1_000_000, 32: 600_000}
 
+#: Unscaled private-L1 capacity when a hierarchy is requested (64 KB,
+#: the common per-core L1D size; divided by the same ``scale_factor`` as
+#: the LLC so the L1:LLC capacity ratio survives scaling).
+DEFAULT_L1_BYTES = 64 << 10
+
 
 @dataclass(frozen=True)
 class MachineConfig:
@@ -41,6 +47,15 @@ class MachineConfig:
         instructions: default per-core instruction target.
         workload_scale: footprint multiplier applied to benchmark zones
             (1.0 = the catalog's reference calibration).
+        l1_geometry: per-core private L1 in front of the LLC, or ``None``
+            (the default) for the historical LLC-only machine.
+        l1_inclusive: enforce an inclusive hierarchy (LLC evictions
+            back-invalidate the owner's L1); only meaningful with
+            ``l1_geometry``.
+        dram_banks: DRAM banks per memory controller (1 = the flat
+            fixed-latency DRAM model).
+        dram_row_blocks: cache blocks per DRAM row; 0 disables the
+            row-buffer model (see :class:`repro.cpu.memory.MemoryModel`).
     """
 
     num_cores: int
@@ -48,12 +63,22 @@ class MachineConfig:
     num_controllers: int
     instructions: int
     workload_scale: float = 1.0
+    l1_geometry: Optional[CacheGeometry] = None
+    l1_inclusive: bool = False
+    dram_banks: int = 1
+    dram_row_blocks: int = 0
 
     def __str__(self) -> str:
-        return (
+        base = (
             f"{self.num_cores}core/{self.geometry}/"
             f"{self.num_controllers}mc/{self.instructions}instr"
         )
+        if self.l1_geometry is not None:
+            mode = "incl" if self.l1_inclusive else "nincl"
+            base += f"/l1-{self.l1_geometry}-{mode}"
+        if self.dram_banks > 1 or self.dram_row_blocks:
+            base += f"/dram-{self.dram_banks}b-{self.dram_row_blocks}r"
+        return base
 
 
 def machine(
@@ -62,6 +87,11 @@ def machine(
     instructions: int = None,
     assoc: int = None,
     llc_bytes: int = None,
+    l1: Optional[str] = None,
+    l1_bytes: int = None,
+    l1_assoc: int = 2,
+    dram_banks: int = 1,
+    dram_row_blocks: int = 0,
 ) -> MachineConfig:
     """Build the Table-2 machine for ``num_cores``, scaled down.
 
@@ -72,6 +102,15 @@ def machine(
         assoc: associativity override (Fig. 1(b)'s 64/256-way sweeps,
             Fig. 6's 16-way-at-16-cores configuration).
         llc_bytes: unscaled LLC capacity override (Fig. 6 uses 8 MB).
+        l1: ``"inclusive"`` or ``"non-inclusive"`` to put a private L1 in
+            front of each core; ``None`` (default) keeps the LLC-only
+            machine the paper's figures are calibrated on.
+        l1_bytes: unscaled per-core L1 capacity (default
+            :data:`DEFAULT_L1_BYTES`; scaled by ``scale_factor`` like the
+            LLC).
+        l1_assoc: L1 associativity (power of two).
+        dram_banks: DRAM banks per memory controller.
+        dram_row_blocks: cache blocks per DRAM row (0 = flat DRAM model).
     """
     if num_cores not in PAPER_LLC:
         raise ValueError(f"num_cores must be one of {sorted(PAPER_LLC)}, got {num_cores}")
@@ -84,10 +123,29 @@ def machine(
     geometry = CacheGeometry(size // scale_factor, block_bytes=64, assoc=assoc)
     if instructions is None:
         instructions = DEFAULT_INSTRUCTIONS[num_cores]
+    l1_geometry = None
+    l1_inclusive = False
+    if l1 is not None:
+        if l1 not in ("inclusive", "non-inclusive"):
+            raise ValueError(
+                f"l1 must be 'inclusive' or 'non-inclusive', got {l1!r}"
+            )
+        l1_geometry = CacheGeometry(
+            (l1_bytes if l1_bytes is not None else DEFAULT_L1_BYTES) // scale_factor,
+            block_bytes=64,
+            assoc=l1_assoc,
+        )
+        l1_inclusive = l1 == "inclusive"
+    elif l1_bytes is not None:
+        raise ValueError("l1_bytes given without l1 mode")
     return MachineConfig(
         num_cores=num_cores,
         geometry=geometry,
         num_controllers=controllers,
         instructions=instructions,
         workload_scale=1.0,
+        l1_geometry=l1_geometry,
+        l1_inclusive=l1_inclusive,
+        dram_banks=dram_banks,
+        dram_row_blocks=dram_row_blocks,
     )

@@ -28,6 +28,7 @@ from repro.experiments import (
     fig11_evprob,
     fig12_kbit,
     fig13_victim_notfound,
+    fig_headroom,
     multi_tenant,
     sec56_dip,
 )
@@ -78,6 +79,8 @@ EXPERIMENTS: Dict[str, Experiment] = {
                    sec56_dip.run, sec56_dip.format_result),
         Experiment("tenants", "Multi-tenant web cache: per-tenant SLO scorecard",
                    multi_tenant.run, multi_tenant.format_result),
+        Experiment("headroom", "Miss gap to the offline Belady/MIN optimum",
+                   fig_headroom.run, fig_headroom.format_result),
     ]
 }
 

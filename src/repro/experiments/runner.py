@@ -151,6 +151,25 @@ def _standalone_policy_key(policy) -> str:
     return type(policy).__name__
 
 
+def _machine_memory(config: MachineConfig) -> MemoryModel:
+    """A fresh DRAM model matching ``config`` (controllers, banks, rows)."""
+    return MemoryModel(
+        num_controllers=config.num_controllers,
+        banks_per_controller=getattr(config, "dram_banks", 1),
+        row_blocks=getattr(config, "dram_row_blocks", 0),
+    )
+
+
+def _hierarchy_key(config: MachineConfig) -> tuple:
+    """Memo-key component covering everything the hierarchy adds."""
+    return (
+        getattr(config, "l1_geometry", None),
+        getattr(config, "l1_inclusive", False),
+        getattr(config, "dram_banks", 1),
+        getattr(config, "dram_row_blocks", 0),
+    )
+
+
 def standalone_ipcs(
     profiles: Sequence[BenchmarkProfile],
     config: MachineConfig,
@@ -179,7 +198,7 @@ def standalone_ipcs(
             config.num_controllers,
             instructions,
             config.workload_scale,
-        )
+        ) + _hierarchy_key(config)
         ipc = cache.get(key)
         if ipc is None:
             core = run_standalone(
@@ -187,9 +206,11 @@ def standalone_ipcs(
                 config.geometry,
                 instructions,
                 policy_factory=lambda policy=policy: policy,
-                num_controllers=config.num_controllers,
                 seed=derive_seed(777, "standalone", profile.name),
                 scale=config.workload_scale,
+                memory=_machine_memory(config),
+                l1_geometry=config.l1_geometry,
+                inclusive=config.l1_inclusive,
             )
             ipc = core.ipc
             cache.store(key, ipc)
@@ -216,6 +237,72 @@ def _scheme_diagnostics(scheme_obj) -> dict:
     if hasattr(scheme_obj, "targets"):
         fields["targets"] = list(scheme_obj.targets)
     return fields
+
+
+def _run_belady(
+    label: str,
+    profiles: Sequence[BenchmarkProfile],
+    config: MachineConfig,
+    sp_ipcs: List[float],
+    seed: int,
+    instructions: int,
+    check: bool,
+) -> WorkloadResult:
+    """The ``scheme="belady"`` path of :func:`run_workload`.
+
+    Three steps: (1) run the machine under unmanaged LRU with
+    ``record_trace=True`` to capture the post-L1 (LLC-visible) access
+    stream; (2) replay that stream through the offline Belady/MIN cache;
+    (3) reconstruct per-core timing in trace order
+    (:func:`repro.check.belady.belady_workload_run`). With ``check=True``
+    the recording run carries the invariant checker (including the
+    inclusion invariant when the machine has an inclusive L1).
+    """
+    from repro.cache.cache import SharedCache
+    from repro.cache.replacement.lru import LRUPolicy
+    from repro.check.belady import belady_workload_run
+
+    rec_cache = SharedCache(config.geometry, config.num_cores, policy=LRUPolicy())
+    checker = None
+    if check:
+        from repro.check.invariants import attach_checker
+
+        checker = attach_checker(rec_cache)
+    system = MultiCoreSystem(
+        rec_cache,
+        profiles,
+        seed=derive_seed(seed, "shared", label, "belady"),
+        scale=config.workload_scale,
+        memory=_machine_memory(config),
+        l1_geometry=config.l1_geometry,
+        inclusive=config.l1_inclusive,
+        record_trace=True,
+    )
+    if checker is not None and config.l1_geometry is not None:
+        checker.bind_hierarchy(system)
+    system.run(instructions)
+    if checker is not None:
+        checker.check_now()
+    result = belady_workload_run(
+        system.recorded_trace,
+        profiles,
+        config.geometry,
+        _machine_memory(config),
+        instructions_per_core=instructions,
+    )
+    mp_ipcs = [c.ipc for c in result.cores]
+    return WorkloadResult(
+        mix=label,
+        scheme="belady",
+        benchmarks=[p.name for p in profiles],
+        cores=result.cores,
+        standalone=sp_ipcs,
+        antt=antt(sp_ipcs, mp_ipcs),
+        fairness=fairness(sp_ipcs, mp_ipcs),
+        throughput=ipc_throughput(mp_ipcs),
+        weighted_speedup=weighted_speedup(sp_ipcs, mp_ipcs),
+        intervals=result.intervals,
+    )
 
 
 def run_workload(
@@ -305,6 +392,15 @@ def run_workload(
         cache=standalone_cache,
     )
 
+    if scheme == "belady":
+        # Offline optimum: record a post-L1 trace under unmanaged LRU on
+        # this machine, replay it through Belady/MIN, and reconstruct the
+        # timing. Telemetry is not recorded on this path (there are no
+        # allocation intervals to sample).
+        return _run_belady(
+            label, profiles, config, sp_ipcs, seed, instructions, check
+        )
+
     scheme_obj, policy = build_scheme(
         scheme, config.num_cores, sp_ipcs, **(scheme_kwargs or {})
     )
@@ -341,9 +437,13 @@ def run_workload(
         profiles,
         seed=derive_seed(seed, "shared", label, scheme),
         scale=config.workload_scale,
-        memory=MemoryModel(num_controllers=config.num_controllers),
+        memory=_machine_memory(config),
+        l1_geometry=config.l1_geometry,
+        inclusive=config.l1_inclusive,
         telemetry=recorder,
     )
+    if checker is not None and config.l1_geometry is not None:
+        checker.bind_hierarchy(system)
     result = system.run(instructions)
     if checker is not None:
         checker.check_now()

@@ -14,6 +14,7 @@ from typing import Callable, Dict, Optional, Sequence
 from repro.cache.replacement import (
     DIPPolicy,
     LRUPolicy,
+    PLRUPolicy,
     ReplacementPolicy,
     TimestampLRUPolicy,
 )
@@ -116,6 +117,18 @@ def _tslru(num_cores: int, standalone_ipcs, **kwargs):
     return None, TimestampLRUPolicy()
 
 
+def _plru(num_cores: int, standalone_ipcs, **kwargs):
+    return None, PLRUPolicy()
+
+
+def _belady(num_cores: int, standalone_ipcs, **kwargs):
+    # The offline optimal baseline replays a recorded trace through
+    # repro.check.belady (run_workload dispatches on the name); the LRU
+    # policy here only drives the recording run and the stand-alone
+    # IPC^SP baselines.
+    return None, LRUPolicy()
+
+
 def _vantage(num_cores: int, standalone_ipcs, **kwargs):
     return VantageScheme(**kwargs), TimestampLRUPolicy()
 
@@ -156,6 +169,9 @@ SCHEMES: Dict[str, SchemeSpec] = {
         SchemeSpec("waypart-hitmax", _waypart_hitmax, "Alg. 1 targets rounded to ways (Fig. 5)"),
         SchemeSpec("waypart-fair", _waypart_fair_alloc, "Alg. 2 targets rounded to ways"),
         SchemeSpec("tslru", _tslru, "unmanaged timestamp-LRU baseline (Fig. 7)"),
+        SchemeSpec("plru", _plru, "unmanaged tree pseudo-LRU (hierarchy baseline)"),
+        SchemeSpec("belady", _belady,
+                   "offline Belady/MIN optimal on the recorded post-L1 trace"),
         SchemeSpec("vantage", _vantage, "set-associative Vantage + extended UCP [17]"),
         SchemeSpec("prism-ucpx", _prism_ucpx, "PriSM + extended UCP on timestamp LRU (Fig. 7)"),
         SchemeSpec("dip", _dip, "unmanaged DIP baseline [13]"),

@@ -19,17 +19,19 @@ from repro.workloads.tenants import TenantSpec, TenantWorkload, get_tenant_workl
 CONFIG = machine(4, instructions=3_000)
 
 #: The reference digest for (Q1, prism-h, seed 3, kwargs, the machine
-#: above) under FINGERPRINT_VERSION 1. Pinned: a silent change here would
-#: orphan every existing store.
+#: above) under FINGERPRINT_VERSION 2 (v1 digests were invalidated when
+#: the DRAM service-occupancy fix changed results and the machine payload
+#: grew the hierarchy fields). Pinned: a silent change here would orphan
+#: every existing store.
 REFERENCE_SPEC = RunSpec(
     mix="Q1", scheme="prism-h", seed=3, scheme_kwargs={"probability_bits": 6}
 )
-REFERENCE_DIGEST = "341bf5587edd2ed2c3d6658189ccd5c06b39cb027c3af60831593d819b3e89aa"
+REFERENCE_DIGEST = "0cca0b24c8d607e90e9698895b536d7edc7adbf776bca61f48e2ba60ca956225"
 
 
 class TestStability:
     def test_reference_digest_is_pinned(self):
-        assert FINGERPRINT_VERSION == 1
+        assert FINGERPRINT_VERSION == 2
         assert spec_fingerprint(REFERENCE_SPEC, CONFIG) == REFERENCE_DIGEST
 
     def test_deterministic_across_calls(self):
@@ -92,7 +94,7 @@ class TestWorkloadSourceIdentity:
 
     TENANT_SPEC = RunSpec(mix="tenants:smoke4", scheme="prism-h", seed=3)
     TENANT_DIGEST = (
-        "1b5ee81125c0bdafc04fbd17de61b78e566900c784cb17eaf91385831e18acdd"
+        "97d3a7ba0ee35cef21b6990b81937e837d95b9fbad53ae374847c39e2abe6d4e"
     )
 
     def test_tenant_digest_is_pinned(self):
@@ -120,9 +122,10 @@ class TestWorkloadSourceIdentity:
         assert a != b
 
     def test_plain_mix_digest_unmoved_by_the_resolver(self):
-        """Promoting the resolver must not re-key existing stores: the V1
-        reference digest (plain "Q1" string) is asserted byte-for-byte in
-        TestStability, and MixSource identity stays that same string."""
+        """Promoting the resolver must not re-key existing stores: the
+        pinned reference digest (plain "Q1" string) is asserted
+        byte-for-byte in TestStability, and MixSource identity stays that
+        same string."""
         via_string = spec_fingerprint(REFERENCE_SPEC, CONFIG)
         assert via_string == REFERENCE_DIGEST
         assert canonical_payload(REFERENCE_SPEC, CONFIG)["mix"] == "Q1"
@@ -159,4 +162,16 @@ class TestSensitivity:
 
     def test_machine_core_count(self):
         other = machine(8, instructions=3_000)
+        assert spec_fingerprint(self.BASE, other) != self._base()
+
+    def test_machine_l1_hierarchy(self):
+        inclusive = machine(4, instructions=3_000, l1="inclusive")
+        non_inclusive = machine(4, instructions=3_000, l1="non-inclusive")
+        assert spec_fingerprint(self.BASE, inclusive) != self._base()
+        assert spec_fingerprint(self.BASE, inclusive) != spec_fingerprint(
+            self.BASE, non_inclusive
+        )
+
+    def test_machine_dram_banks(self):
+        other = machine(4, instructions=3_000, dram_banks=4, dram_row_blocks=8)
         assert spec_fingerprint(self.BASE, other) != self._base()

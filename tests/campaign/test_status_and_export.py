@@ -89,6 +89,42 @@ class TestStatusThroughput:
         assert status.specs_per_min is not None
         assert status.eta_seconds is None
 
+    def test_legacy_zero_timestamps_do_not_anchor_the_rate(self, tmp_path):
+        """A store mixing legacy records (created_at=0.0) with stamped ones
+        must compute the rate from the stamped records alone — an epoch
+        anchor would report a near-zero rate and a multi-decade ETA."""
+        campaign = self.campaign(tmp_path)
+        fps = campaign.fingerprints()
+        stamps = (0.0, 100.0, 160.0)
+        for spec, fp, ts in zip(campaign.specs[:3], fps[:3], stamps):
+            campaign.store.append_raw(stored_record(campaign, spec, fp, ts))
+        status = campaign.status()
+        assert status.completed == 3 and status.pending == 1
+        assert status.specs_per_min == 1.0
+        assert status.eta_seconds == 60.0
+
+    def test_all_legacy_records_yield_no_rate(self, tmp_path):
+        campaign = self.campaign(tmp_path)
+        fps = campaign.fingerprints()
+        for spec, fp in zip(campaign.specs[:2], fps[:2]):
+            campaign.store.append_raw(stored_record(campaign, spec, fp, 0.0))
+        status = campaign.status()
+        assert status.completed == 2
+        assert status.specs_per_min is None and status.eta_seconds is None
+
+    def test_clock_skewed_workers_stamps_are_sorted(self, tmp_path):
+        """Herd workers stream results with their own clocks; records can
+        land in the store out of timestamp order. The rate must come from
+        the sorted span, never a negative/garbled first-to-last delta."""
+        campaign = self.campaign(tmp_path)
+        fps = campaign.fingerprints()
+        skewed = (160.0, 100.0, 130.0)  # arrival order != stamp order
+        for spec, fp, ts in zip(campaign.specs[:3], fps[:3], skewed):
+            campaign.store.append_raw(stored_record(campaign, spec, fp, ts))
+        status = campaign.status()
+        assert status.specs_per_min == 2.0
+        assert status.eta_seconds == 30.0
+
     def test_eta_formatting(self):
         from repro.campaign.campaign import CampaignStatus
 

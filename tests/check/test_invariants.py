@@ -110,6 +110,74 @@ class TestChecker:
         assert "occupancy-bounds" in str(error) and "129" in str(error)
 
 
+class TestInclusionInvariant:
+    """The hierarchy audit: every L1-resident block is LLC-resident."""
+
+    def hierarchy_system(self, every=64):
+        from repro.cache.replacement.lru import LRUPolicy
+        from repro.cpu.system import MultiCoreSystem
+        from repro.workloads.spec import get_profile
+
+        profiles = [get_profile("179.art"), get_profile("181.mcf")]
+        cache = SharedCache(CacheGeometry(8 << 10, 64, 8), 2, policy=LRUPolicy())
+        checker = attach_checker(cache, every=every)
+        system = MultiCoreSystem(
+            cache,
+            profiles,
+            seed=5,
+            l1_geometry=CacheGeometry(512, 64, 2),
+            inclusive=True,
+        )
+        checker.bind_hierarchy(system)
+        return system, checker
+
+    def test_clean_inclusive_run_passes(self):
+        system, checker = self.hierarchy_system(every=16)
+        system.run(4000)
+        checker.check_now()
+        assert checker.checks_run > 10
+
+    def test_catches_stale_l1_line(self):
+        system, checker = self.hierarchy_system()
+        system.run(2000)
+        checker.check_now()  # consistent so far
+        # Sabotage: sneak a block into core 0's L1 that the LLC has never
+        # seen — exactly what a broken back-invalidate path would leave.
+        bogus = 0x5A5A00
+        system.l1s[0].access(bogus)
+        with pytest.raises(InvariantViolation) as excinfo:
+            checker.check_now()
+        assert excinfo.value.invariant == "inclusion"
+
+    def test_unbound_checker_ignores_hierarchy(self):
+        # Without bind_hierarchy the same sabotage goes unaudited: the
+        # inclusion invariant is opt-in because non-inclusive mode
+        # legitimately leaves stale L1 lines behind.
+        system, checker = self.hierarchy_system()
+        checker._system = None
+        system.run(1000)
+        system.l1s[0].access(0x5A5A00)
+        checker.check_now()
+
+    def test_non_inclusive_mode_not_audited(self):
+        from repro.cache.replacement.lru import LRUPolicy
+        from repro.cpu.system import MultiCoreSystem
+        from repro.workloads.spec import get_profile
+
+        cache = SharedCache(CacheGeometry(8 << 10, 64, 8), 1, policy=LRUPolicy())
+        checker = attach_checker(cache, every=64)
+        system = MultiCoreSystem(
+            cache,
+            [get_profile("179.art")],
+            seed=5,
+            l1_geometry=CacheGeometry(512, 64, 2),
+            inclusive=False,
+        )
+        checker.bind_hierarchy(system)
+        system.run(3000)  # stale L1 lines are expected; no violation
+        checker.check_now()
+
+
 class TestRunnerWiring:
     def test_checked_run_equals_unchecked_run(self):
         config = machine(4, instructions=30_000)
@@ -128,6 +196,20 @@ class TestRunnerWiring:
         result = run_workload("Q1", config, "lru",
                               options=RunOptions(check=True))
         assert result.antt > 0  # completed under the checker
+
+    def test_checked_hierarchy_run_audits_inclusion(self):
+        # run_workload binds the hierarchy to the checker when the
+        # machine has an L1; a clean inclusive run must pass the audit.
+        config = machine(4, instructions=20_000, l1="inclusive",
+                         dram_banks=2, dram_row_blocks=4)
+        result = run_workload("Q1", config, "prism-h", seed=3, check=True)
+        assert result.antt > 0
+
+    def test_checked_belady_run(self):
+        config = machine(4, instructions=20_000, l1="inclusive")
+        result = run_workload("Q1", config, "belady", seed=3, check=True)
+        assert result.scheme == "belady"
+        assert result.intervals == 0
 
 
 class TestCampaignWiring:

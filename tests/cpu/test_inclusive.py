@@ -35,11 +35,9 @@ class TestInclusiveHierarchy:
         system.run(40_000)
         l1 = system.l1s[0]
         # Inclusion: every L1-resident block is also LLC-resident.
-        for set_tags, set_index in zip(l1._sets, range(L1.num_sets)):
-            for tag in set_tags:
-                block_addr = L1.block_addr(set_index, tag)
-                llc_set = cache.sets[LLC.set_index(block_addr)]
-                assert llc_set.lookup(LLC.tag(block_addr)) is not None
+        for block_addr in l1.resident_addrs():
+            llc_set = cache.sets[LLC.set_index(block_addr)]
+            assert llc_set.lookup(LLC.tag(block_addr)) is not None
 
     @pytest.mark.parametrize("inclusive", [True, False])
     def test_scripted_eviction_scenario(self, friendly_profile, inclusive):

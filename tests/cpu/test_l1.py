@@ -47,6 +47,61 @@ class TestL1Cache:
             l1.access(rng.randrange(8))  # 8 blocks across 8 sets
         assert l1.hit_rate() > 0.95
 
+    def test_rejects_non_power_of_two_sets(self):
+        class Fake:
+            num_sets = 3
+            assoc = 2
+
+        with pytest.raises(ValueError, match="power of two"):
+            L1Cache(Fake())
+        with pytest.raises(ValueError, match="power of two"):
+            L1Cache(type("Fake0", (), {"num_sets": 0, "assoc": 2})())
+
+    def test_resident_addrs_round_trip(self, l1):
+        addrs = {0, 1, 2, 9, 18}  # sets 0,1,2 hold <= 2 ways each
+        for addr in addrs:
+            l1.access(addr)
+        assert set(l1.resident_addrs()) == addrs
+        assert l1.resident_blocks() == len(addrs)
+        l1.invalidate(18)
+        assert set(l1.resident_addrs()) == addrs - {18}
+
+
+class TestL1EvictionOrder:
+    """The dict-based set must be exact LRU, matching a naive model."""
+
+    def test_eviction_order_is_least_recently_used(self):
+        l1 = L1Cache(CacheGeometry(1 << 9, 64, 4))  # 2 sets, 4 ways
+        sets = l1.geometry.num_sets
+        ways = [i * sets for i in range(4)]  # four tags in set 0
+        for addr in ways:
+            l1.access(addr)
+        l1.access(ways[0])  # touch order now: 1 (LRU), 2, 3, 0 (MRU)
+        l1.access(5 * sets)  # overflow: must evict the LRU tag (ways[1])
+        assert not l1.resident(ways[1])
+        for addr in (ways[0], ways[2], ways[3], 5 * sets):
+            assert l1.resident(addr)
+
+    def test_matches_naive_lru_reference(self):
+        geometry = CacheGeometry(1 << 10, 64, 2)  # 8 sets, 2 ways
+        l1 = L1Cache(geometry)
+        reference = {i: [] for i in range(geometry.num_sets)}  # MRU-first lists
+        rng = make_rng(7, "l1-order")
+        for _ in range(5000):
+            addr = rng.randrange(64)
+            tags = reference[addr % geometry.num_sets]
+            tag = addr // geometry.num_sets
+            expect_hit = tag in tags
+            if expect_hit:
+                tags.remove(tag)
+            elif len(tags) >= geometry.assoc:
+                tags.pop()
+            tags.insert(0, tag)
+            assert l1.access(addr) == expect_hit
+        for set_index, tags in reference.items():
+            for tag in tags:
+                assert l1.resident(tag * geometry.num_sets + set_index)
+
 
 class TestSystemWithL1:
     def test_l1_filters_llc_traffic(self, friendly_profile):

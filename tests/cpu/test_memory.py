@@ -6,27 +6,38 @@ from repro.cpu.memory import MemoryModel
 
 
 class TestMemoryModel:
-    def test_unloaded_latency_is_base(self):
-        memory = MemoryModel(num_controllers=1, base_latency=200.0)
-        assert memory.miss_latency(0, now=0.0) == 200.0
+    def test_unloaded_latency_pays_service_and_base(self):
+        # A request always occupies its controller for service_cycles, so
+        # even an unloaded miss is service + DRAM round-trip.
+        memory = MemoryModel(num_controllers=1, base_latency=200.0, service_cycles=24.0)
+        assert memory.miss_latency(0, now=0.0) == 224.0
 
     def test_back_to_back_requests_queue(self):
         memory = MemoryModel(1, base_latency=200.0, service_cycles=24.0)
         memory.miss_latency(0, now=0.0)
         second = memory.miss_latency(0, now=0.0)
-        assert second == pytest.approx(224.0)
+        assert second == pytest.approx(248.0)  # 24 queued + 24 service + 200
+
+    def test_back_to_back_regression_each_request_pays_its_service(self):
+        """Regression for the busy-horizon bug: the horizon advanced by
+        service_cycles per request, but the returned latency omitted the
+        request's own service occupancy — N back-to-back misses must cost
+        base + N * service_cycles for the last one, not base + (N-1)."""
+        memory = MemoryModel(1, base_latency=200.0, service_cycles=24.0)
+        latencies = [memory.miss_latency(0, now=0.0) for _ in range(4)]
+        assert latencies == [224.0, 248.0, 272.0, 296.0]
 
     def test_queue_drains_over_time(self):
         memory = MemoryModel(1, base_latency=200.0, service_cycles=24.0)
         memory.miss_latency(0, now=0.0)
         later = memory.miss_latency(0, now=1000.0)
-        assert later == 200.0
+        assert later == 224.0
 
     def test_controllers_are_independent(self):
         memory = MemoryModel(2, base_latency=200.0, service_cycles=24.0)
         memory.miss_latency(0, now=0.0)  # controller 0
         other = memory.miss_latency(1, now=0.0)  # controller 1 (addr % 2)
-        assert other == 200.0
+        assert other == 224.0
 
     def test_address_hashing(self):
         memory = MemoryModel(4)
@@ -59,3 +70,75 @@ class TestMemoryModel:
             MemoryModel(0)
         with pytest.raises(ValueError):
             MemoryModel(1, base_latency=0)
+        with pytest.raises(ValueError):
+            MemoryModel(1, banks_per_controller=0)
+        with pytest.raises(ValueError):
+            MemoryModel(1, row_blocks=-1)
+        with pytest.raises(ValueError):
+            MemoryModel(1, row_blocks=4, row_hit_latency=0.0)
+
+
+class TestRowBufferModel:
+    def test_disabled_by_default_is_flat(self):
+        memory = MemoryModel(1, base_latency=200.0, service_cycles=24.0)
+        for addr in (0, 1, 1 << 20):
+            assert memory.miss_latency(addr, now=10_000.0 * (addr + 1)) == 224.0
+        assert memory.row_hits == memory.row_conflicts == 0
+
+    def test_open_row_hit_vs_conflict(self):
+        memory = MemoryModel(
+            1,
+            base_latency=200.0,
+            service_cycles=24.0,
+            banks_per_controller=2,
+            row_blocks=4,
+            row_hit_latency=120.0,
+            row_conflict_latency=280.0,
+        )
+        # First touch of an idle bank: closed-bank base latency.
+        assert memory.miss_latency(0, now=0.0) == 224.0
+        # Same row (blocks 0-3 of bank 0): open-row hit.
+        assert memory.miss_latency(1, now=1000.0) == 144.0  # 24 + 120
+        # Blocks 4-7 stripe to bank 1: idle bank, base again.
+        assert memory.miss_latency(4, now=2000.0) == 224.0
+        # Block 8 is bank 0, row 1: conflicts with the open row 0.
+        assert memory.miss_latency(8, now=3000.0) == 304.0  # 24 + 280
+        assert memory.row_hits == 1
+        assert memory.row_conflicts == 1
+        assert memory.row_hit_rate() == 0.5
+
+    def test_banks_hash_within_controller(self):
+        """Two controllers: even addresses on controller 0, odd on 1; the
+        per-controller chunk index (addr // controllers) drives bank/row."""
+        memory = MemoryModel(
+            2,
+            base_latency=200.0,
+            service_cycles=24.0,
+            banks_per_controller=1,
+            row_blocks=2,
+            row_hit_latency=100.0,
+            row_conflict_latency=300.0,
+        )
+        assert memory.miss_latency(0, now=0.0) == 224.0   # ctl 0, chunk 0, row 0
+        assert memory.miss_latency(2, now=1000.0) == 124.0  # ctl 0, chunk 1, row 0: hit
+        assert memory.miss_latency(1, now=2000.0) == 224.0  # ctl 1 idle bank
+        assert memory.miss_latency(4, now=3000.0) == 324.0  # ctl 0, chunk 2, row 1: conflict
+
+    def test_default_row_latencies_derive_from_base(self):
+        memory = MemoryModel(1, base_latency=100.0, row_blocks=4)
+        assert memory.row_hit_latency == pytest.approx(60.0)
+        assert memory.row_conflict_latency == pytest.approx(140.0)
+
+    def test_streaming_locality_beats_random_conflicts(self):
+        streaming = MemoryModel(1, row_blocks=8, banks_per_controller=4)
+        conflicting = MemoryModel(1, row_blocks=8, banks_per_controller=4)
+        total_stream = sum(
+            streaming.miss_latency(i, now=1000.0 * i) for i in range(64)
+        )
+        # Stride of one full row in the same bank: every access re-opens.
+        stride = 8 * 4
+        total_conflict = sum(
+            conflicting.miss_latency((i % 2) * stride, now=1000.0 * i)
+            for i in range(64)
+        )
+        assert total_stream < total_conflict

@@ -57,3 +57,42 @@ class TestTable2:
         config = machine(4)
         with pytest.raises(AttributeError):
             config.num_cores = 8
+
+
+class TestHierarchy:
+    def test_default_machine_has_no_l1(self):
+        config = machine(4)
+        assert config.l1_geometry is None
+        assert config.l1_inclusive is False
+        assert config.dram_banks == 1 and config.dram_row_blocks == 0
+
+    def test_inclusive_l1_scales_with_the_llc(self):
+        config = machine(4, l1="inclusive")
+        # 64 KB unscaled / scale 64 = 1 KB, 2-way.
+        assert config.l1_geometry.size_bytes == 1 << 10
+        assert config.l1_geometry.assoc == 2
+        assert config.l1_inclusive is True
+
+    def test_non_inclusive_mode(self):
+        config = machine(4, l1="non-inclusive")
+        assert config.l1_geometry is not None
+        assert config.l1_inclusive is False
+
+    def test_l1_overrides(self):
+        config = machine(4, l1="inclusive", l1_bytes=128 << 10, l1_assoc=4)
+        assert config.l1_geometry.size_bytes == 2 << 10
+        assert config.l1_geometry.assoc == 4
+
+    def test_l1_bytes_without_mode_rejected(self):
+        with pytest.raises(ValueError, match="l1_bytes"):
+            machine(4, l1_bytes=64 << 10)
+
+    def test_unknown_l1_mode_rejected(self):
+        with pytest.raises(ValueError, match="inclusive"):
+            machine(4, l1="exclusive")
+
+    def test_str_shows_hierarchy_and_dram(self):
+        text = str(machine(4, l1="inclusive", dram_banks=4, dram_row_blocks=8))
+        assert "/l1-" in text and "-incl" in text
+        assert "/dram-4b-8r" in text
+        assert "/l1-" not in str(machine(4))

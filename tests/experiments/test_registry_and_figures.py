@@ -25,16 +25,19 @@ MICRO = {
     "sec56": {"instructions": 25_000, "mixes": ["Q7"]},
     "tenants": {"instructions": 30_000, "workload": "smoke4",
                 "schemes": ["lru", "cliff", "prism-h"]},
+    "headroom": {"instructions": 25_000, "mixes": ["Q7"],
+                 "schemes": ["lru", "prism-h"]},
 }
 
 
 class TestRegistry:
-    def test_all_fifteen_experiments_registered(self):
-        assert len(EXPERIMENTS) == 15
+    def test_all_sixteen_experiments_registered(self):
+        assert len(EXPERIMENTS) == 16
         for fig in range(1, 14):
             assert f"fig{fig}" in EXPERIMENTS
         assert "sec56" in EXPERIMENTS
         assert "tenants" in EXPERIMENTS
+        assert "headroom" in EXPERIMENTS
 
     def test_lookup(self):
         assert get_experiment("fig7").title.startswith("PriSM vs Vantage")

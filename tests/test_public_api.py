@@ -84,7 +84,7 @@ class TestPolicyRegistry:
     def test_make_policy_known_names(self):
         from repro.cache.replacement import make_policy
 
-        for name in ("lru", "random", "tslru", "dip", "bip", "lip",
+        for name in ("lru", "plru", "random", "tslru", "dip", "bip", "lip",
                      "srrip", "brrip", "drrip"):
             policy = make_policy(name)
             assert policy.name in (name, "lip", "bip")  # names match registry keys
@@ -99,4 +99,4 @@ class TestPolicyRegistry:
         from repro.cache.replacement import make_policy
 
         with pytest.raises(ValueError, match="known"):
-            make_policy("plru")
+            make_policy("clairvoyant")
