@@ -25,7 +25,7 @@ has to know which configurations are vectorisable.
 from __future__ import annotations
 
 import warnings
-from typing import Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
 from repro.cache.cache import SharedCache
 from repro.cache.geometry import CacheGeometry
@@ -55,18 +55,25 @@ def build_cache(
     scheme=None,
     backend: str = "classic",
     strict: bool = False,
+    core_map: Optional[Sequence[int]] = None,
+    track_sharers: bool = False,
 ) -> Tuple[object, str]:
     """Build a shared cache under ``backend``; attach ``scheme`` if given.
 
     Args:
         geometry: size/associativity description.
-        num_cores: number of sharing cores.
+        num_cores: number of accounting owners (cores, or clusters when
+            ``core_map`` is given).
         policy: baseline replacement policy (``None`` = true LRU).
         scheme: management scheme to attach, or ``None``.
         backend: ``"classic"`` or ``"vector"``.
         strict: under ``backend="vector"``, re-raise
             :class:`~repro.cache.vector.VectorUnsupported` instead of
             falling back to the classic engine.
+        core_map: optional cluster map (:mod:`repro.clustering`) mapping
+            real core ids to accounting groups in ``[0, num_cores)``.
+        track_sharers: maintain per-block sharer bitmasks (shared-data
+            workloads; see ``docs/simulator.md``).
 
     Returns:
         ``(cache, backend_used)`` — ``backend_used`` is the engine that
@@ -79,7 +86,17 @@ def build_cache(
         try:
             # Constructor-time validation happens before any mutation of
             # policy/scheme, so a failed attempt leaves both reusable.
-            return VectorCache(geometry, num_cores, policy=policy, scheme=scheme), "vector"
+            return (
+                VectorCache(
+                    geometry,
+                    num_cores,
+                    policy=policy,
+                    scheme=scheme,
+                    core_map=core_map,
+                    track_sharers=track_sharers,
+                ),
+                "vector",
+            )
         except VectorUnsupported as exc:
             if strict:
                 raise
@@ -89,7 +106,10 @@ def build_cache(
                 RuntimeWarning,
                 stacklevel=2,
             )
-    cache = SharedCache(geometry, num_cores, policy=policy)
+    cache = SharedCache(
+        geometry, num_cores, policy=policy,
+        core_map=core_map, track_sharers=track_sharers,
+    )
     if scheme is not None:
         cache.set_scheme(scheme)
     return cache, "classic"

@@ -13,19 +13,34 @@ class CacheBlock:
 
     Attributes:
         tag: address tag; meaningful only while ``valid``.
-        core: id of the core (program) that brought the block in. All
+        core: id of the *accounting owner* — the core (program) whose
+            occupancy counter ``C_i`` this block is charged to. All
             partitioning schemes in this repo, like the paper, attribute a
-            block to the core that inserted it.
+            block to the core that inserted it; under core clustering
+            (:mod:`repro.clustering`) this is the inserting core's
+            accounting group instead of the raw core id.
         valid: whether the block holds data.
         timestamp: coarse timestamp used by timestamp-LRU / Vantage.
         rrpv: re-reference prediction value used by SRRIP.
         managed: Vantage region flag (``True`` = managed region).
+        filler: real (pre-clustering) id of the core that performed the
+            fill. Maintained only when the owning cache runs with a
+            ``core_map``; equal to ``core`` otherwise and stale (``-1``)
+            when clustering is off — the cluster-conservation invariant
+            reads it, the hot path never does.
+        sharers: bitmask of accounting owners that touched this block
+            since its last fill (bit ``i`` = owner ``i``). Maintained only
+            when the owning cache runs with ``track_sharers``; always
+            includes the accounting owner's bit while tracked.
         prev, next: intrusive recency-list links owned by the block's
             :class:`~repro.cache.cacheset.CacheSet`; ``None`` while the
             block sits in the free pool.
     """
 
-    __slots__ = ("tag", "core", "valid", "timestamp", "rrpv", "managed", "prev", "next")
+    __slots__ = (
+        "tag", "core", "valid", "timestamp", "rrpv", "managed",
+        "filler", "sharers", "prev", "next",
+    )
 
     def __init__(self) -> None:
         self.tag = -1
@@ -34,6 +49,8 @@ class CacheBlock:
         self.timestamp = 0
         self.rrpv = 0
         self.managed = True
+        self.filler = -1
+        self.sharers = 0
         self.prev = None
         self.next = None
 

@@ -23,7 +23,7 @@ under its baseline policy.
 from __future__ import annotations
 
 from time import perf_counter
-from typing import List, NamedTuple, Optional, Sequence
+from typing import List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.cache.cacheset import CacheSet
 from repro.cache.geometry import CacheGeometry
@@ -61,14 +61,31 @@ class SharedCache:
 
     Args:
         geometry: size/associativity description.
-        num_cores: number of sharing cores (block owners).
+        num_cores: number of *accounting owners* — the width of every
+            per-core array the management machinery reads (occupancy,
+            stats, ``E_i``/``T_i``). Without ``core_map`` this is simply
+            the number of sharing cores.
         policy: baseline replacement policy; defaults to true LRU.
         scheme: management scheme; ``None`` means unmanaged.
+        core_map: optional cluster map for many-core scale-out
+            (:mod:`repro.clustering`): ``core_map[real_core]`` is the
+            accounting group the core's blocks are charged to. Its length
+            is the real core count; its values must lie in
+            ``[0, num_cores)``. Every access is translated at entry, so
+            all downstream accounting — occupancy, stats, shadow tags,
+            PriSM's E/T — runs at cluster granularity.
+        track_sharers: maintain per-block sharer bitmasks (shared-data
+            workloads): a fill seeds ``block.sharers`` with the filling
+            owner's bit, every hit ORs the hitting owner's bit in.
+            Occupancy stays charged to the accounting owner (conservation
+            is preserved); the sharer set is observational.
 
     Attributes:
-        occupancy: per-core count of blocks currently resident.
-        stats: hit/miss/eviction counters.
+        occupancy: per-accounting-owner count of blocks currently resident.
+        stats: hit/miss/eviction counters (accounting-owner indexed).
         monitors: observers probed on every access (shadow tags, tracers).
+        real_num_cores: number of real cores issuing accesses
+            (``len(core_map)``, or ``num_cores`` when unmapped).
     """
 
     # Slotted: the access loop is ~20 attribute loads per call, and slot
@@ -78,6 +95,9 @@ class SharedCache:
     __slots__ = (
         "geometry",
         "num_cores",
+        "real_num_cores",
+        "_core_map",
+        "track_sharers",
         "_set_mask",
         "_tag_shift",
         "policy",
@@ -115,11 +135,25 @@ class SharedCache:
         num_cores: int,
         policy: Optional[ReplacementPolicy] = None,
         scheme=None,
+        core_map: Optional[Sequence[int]] = None,
+        track_sharers: bool = False,
     ) -> None:
         if num_cores < 1:
             raise ValueError(f"num_cores must be >= 1, got {num_cores}")
+        if core_map is not None:
+            core_map = list(core_map)
+            if not core_map:
+                raise ValueError("core_map must map at least one core")
+            bad = [g for g in core_map if not 0 <= g < num_cores]
+            if bad:
+                raise ValueError(
+                    f"core_map groups must lie in [0, {num_cores}), got {bad}"
+                )
         self.geometry = geometry
         self.num_cores = num_cores
+        self._core_map = core_map
+        self.real_num_cores = len(core_map) if core_map is not None else num_cores
+        self.track_sharers = bool(track_sharers)
         # Hot-path copies of the geometry arithmetic (num_sets is a derived
         # property; the access loop runs millions of times).
         self._set_mask = geometry.num_sets - 1
@@ -229,6 +263,8 @@ class SharedCache:
             self.occupancy,
             policy.victim,
             self._interval_len,
+            self._core_map,
+            self.track_sharers,
         )
 
     def set_scheme(self, scheme) -> None:
@@ -305,7 +341,12 @@ class SharedCache:
             occupancy,
             policy_victim,
             interval_len,
+            core_map,
+            track_sharers,
         ) = self._hot
+        real_core = core
+        if core_map is not None:
+            core = core_map[core]
         set_index = block_addr & set_mask
         tag = block_addr >> tag_shift
         cset = sets[set_index]
@@ -320,6 +361,8 @@ class SharedCache:
 
         if hit:
             hits_l[core] += 1
+            if track_sharers:
+                block.sharers |= 1 << core
             on_hit(cset, block, core)
             return hit_results[set_index]
 
@@ -344,6 +387,10 @@ class SharedCache:
         else:
             new_block = insert_fill(cset, tag, core)
         occupancy[core] += 1
+        if core_map is not None:
+            new_block.filler = real_core
+        if track_sharers:
+            new_block.sharers = 1 << core
         if policy_on_fill is not None:
             policy_on_fill(cset, new_block, core)
         if scheme_on_fill is not None:
@@ -420,13 +467,17 @@ class SharedCache:
             occupancy,
             policy_victim,
             interval_len,
+            core_map,
+            track_sharers,
         ) = self._hot
         # Plain-int lists iterate faster than numpy scalars in this loop.
         cores_l = trace.cores.tolist()
         sets_l = trace.set_indices.tolist()
         tags_l = trace.tags.tolist()
         for i in range(n):
-            core = cores_l[i]
+            real_core = core = cores_l[i]
+            if core_map is not None:
+                core = core_map[core]
             set_index = sets_l[i]
             tag = tags_l[i]
             cset = sets[set_index]
@@ -439,6 +490,8 @@ class SharedCache:
                     observe(core, set_index, tag, hit)
             if hit:
                 hits_l[core] += 1
+                if track_sharers:
+                    block.sharers |= 1 << core
                 on_hit(cset, block, core)
                 if collect:
                     hit_out[i] = True
@@ -463,6 +516,10 @@ class SharedCache:
             else:
                 new_block = insert_fill(cset, tag, core)
             occupancy[core] += 1
+            if core_map is not None:
+                new_block.filler = real_core
+            if track_sharers:
+                new_block.sharers = 1 << core
             if policy_on_fill is not None:
                 policy_on_fill(cset, new_block, core)
             if scheme_on_fill is not None:
@@ -511,9 +568,45 @@ class SharedCache:
     # -- integrity checks (used by tests and assertions) ------------------------
 
     def scan_occupancy(self) -> List[int]:
-        """Recompute per-core occupancy by scanning every set (slow)."""
+        """Recompute per-owner occupancy by scanning every set (slow)."""
         counts = [0] * self.num_cores
         for cset in self.sets:
             for block in cset.blocks:
                 counts[block.core] += 1
         return counts
+
+    def group_of(self, core: int) -> int:
+        """Accounting owner a real core's fills are charged to."""
+        return self._core_map[core] if self._core_map is not None else core
+
+    @property
+    def core_map(self) -> Optional[List[int]]:
+        """The cluster map in force (``None`` when unclustered)."""
+        return list(self._core_map) if self._core_map is not None else None
+
+    def scan_charges(self) -> List[int]:
+        """Per-real-core block charges, recounted from block fillers (slow).
+
+        Only meaningful with a ``core_map``: each resident block is
+        attributed to the real core that filled it. The cluster-conservation
+        invariant checks that these sum, group by group, to ``occupancy``.
+        """
+        counts = [0] * self.real_num_cores
+        for cset in self.sets:
+            for block in cset.blocks:
+                counts[block.filler] += 1
+        return counts
+
+    def scan_sharers(self) -> List[Tuple[int, int, int, int]]:
+        """Sharer state of every resident block, in a comparable shape.
+
+        Returns sorted ``(set_index, tag, accounting_owner, sharers)``
+        tuples — the zero-epsilon differential suite compares this
+        across engines when ``track_sharers`` is on.
+        """
+        rows = []
+        for cset in self.sets:
+            for block in cset.blocks:
+                rows.append((cset.index, block.tag, block.core, block.sharers))
+        rows.sort()
+        return rows

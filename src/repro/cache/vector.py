@@ -151,6 +151,16 @@ class VectorCache:
             :class:`VectorUnsupported`).
         scheme: optional management scheme (``PrismScheme`` only).
         chunk: batch granularity override (default: auto from geometry).
+        core_map: optional cluster map (:mod:`repro.clustering`):
+            ``core_map[real_core]`` is the accounting group charged for
+            the core's blocks. Applied as one vectorised index
+            translation at batch entry, so the slab fast paths run
+            unchanged at cluster granularity.
+        track_sharers: maintain per-block sharer bitmasks. Replays run
+            through the (equally certified) scalar path — the slab fast
+            paths stay reserved for exclusive-ownership replays, which is
+            what the speed floors measure. Capped at 64 accounting
+            owners (uint64 masks), matching the 16-64 core scale-out.
     """
 
     def __init__(
@@ -160,11 +170,33 @@ class VectorCache:
         policy: Optional[ReplacementPolicy] = None,
         scheme=None,
         chunk: Optional[int] = None,
+        core_map: Optional[Sequence[int]] = None,
+        track_sharers: bool = False,
     ) -> None:
         if num_cores < 1:
             raise ValueError(f"num_cores must be >= 1, got {num_cores}")
+        if track_sharers and num_cores > 64:
+            raise VectorUnsupported(
+                f"sharer bitmasks are uint64: at most 64 accounting owners, "
+                f"got {num_cores}"
+            )
         self.geometry = geometry
         self.num_cores = num_cores
+        if core_map is not None:
+            core_map_arr = np.asarray(core_map, dtype=np.int64)
+            if core_map_arr.ndim != 1 or not len(core_map_arr):
+                raise ValueError("core_map must map at least one core")
+            if core_map_arr.min() < 0 or core_map_arr.max() >= num_cores:
+                raise ValueError(
+                    f"core_map groups must lie in [0, {num_cores})"
+                )
+            self._core_map_arr: Optional[np.ndarray] = core_map_arr
+        else:
+            self._core_map_arr = None
+        self.real_num_cores = (
+            len(self._core_map_arr) if self._core_map_arr is not None else num_cores
+        )
+        self.track_sharers = bool(track_sharers)
         self._set_mask = geometry.num_sets - 1
         self._tag_shift = self._set_mask.bit_length()
         self.policy = policy if policy is not None else LRUPolicy()
@@ -188,6 +220,11 @@ class VectorCache:
         # predictor skips the full row lookup for those accesses.
         self._mru_tag = np.full(nsets, -1, dtype=np.int64)
         self._mru_way = np.zeros(nsets, dtype=np.int64)
+        # Per-block sharer bitmasks (bit i = accounting owner i); allocated
+        # only when tracked — the fast paths never touch them.
+        self._sharers: Optional[np.ndarray] = (
+            np.zeros((nsets, assoc), dtype=np.uint64) if self.track_sharers else None
+        )
         # Per-(set, core) residency counts; maintained only under PriSM
         # (the manager's victim sampling and fallbacks read them).
         self._counts: Optional[np.ndarray] = None
@@ -305,9 +342,40 @@ class VectorCache:
         return sum(self.occupancy)
 
     def scan_occupancy(self) -> List[int]:
-        """Recompute per-core occupancy from the owner matrix."""
+        """Recompute per-owner occupancy from the owner matrix."""
         owners = self._owners[self._owners >= 0]
         return np.bincount(owners, minlength=self.num_cores).tolist()
+
+    def group_of(self, core: int) -> int:
+        """Accounting owner a real core's fills are charged to."""
+        if self._core_map_arr is not None:
+            return int(self._core_map_arr[core])
+        return core
+
+    @property
+    def core_map(self) -> Optional[List[int]]:
+        """The cluster map in force (``None`` when unclustered)."""
+        if self._core_map_arr is not None:
+            return self._core_map_arr.tolist()
+        return None
+
+    def scan_sharers(self) -> List[tuple]:
+        """Sharer state of every resident block, in a comparable shape.
+
+        Sorted ``(set_index, tag, accounting_owner, sharers)`` tuples,
+        byte-comparable with ``SharedCache.scan_sharers``.
+        """
+        rows = []
+        sharers = self._sharers
+        tags = self._tags
+        owners = self._owners
+        for s in range(self.num_sets):
+            for w in range(int(self._nvalid[s])):
+                rows.append(
+                    (s, int(tags[s, w]), int(owners[s, w]), int(sharers[s, w]))
+                )
+        rows.sort()
+        return rows
 
     # -- pending (deferred) accounting ------------------------------------
 
@@ -432,6 +500,8 @@ class VectorCache:
 
     def access(self, core: int, block_addr: int) -> AccessResult:
         """Simulate one access (the scalar, immediate-mode entry point)."""
+        if self._core_map_arr is not None:
+            core = int(self._core_map_arr[core])
         s = block_addr & self._set_mask
         t = block_addr >> self._tag_shift
         self._clock += 1
@@ -477,6 +547,8 @@ class VectorCache:
             self._ages[s, w] = pos
             self._mru_tag[s] = t
             self._mru_way[s] = w
+            if self._sharers is not None:
+                self._sharers[s, w] |= np.uint64(1 << c)
             return True, -1, -1
 
         self.stats.misses[c] += 1
@@ -528,6 +600,8 @@ class VectorCache:
         """Place (tag, core) into way ``w`` at the policy's position."""
         self._tags[s, w] = t
         self._owners[s, w] = c
+        if self._sharers is not None:
+            self._sharers[s, w] = np.uint64(1 << c)
         if dip is not None:
             role = dip._role.get(s, "follow")
             if role == "lru":
@@ -644,6 +718,18 @@ class VectorCache:
             )
         if n == 0:
             return out
+        if self._core_map_arr is not None or self.track_sharers:
+            c_all, s_all, t_all = trace
+            if self._core_map_arr is not None:
+                # Cluster granularity is a pure index translation: every
+                # path downstream already works in accounting-owner ids.
+                c_all = self._core_map_arr[c_all]
+            if self.track_sharers:
+                # Sharer masks mutate on every hit, which breaks the
+                # out-of-order clean-hit scatter; replay through the
+                # scalar path (same state, same RNG order, bit-exact).
+                return self._replay_scalar(c_all, s_all, t_all, out)
+            trace = EncodedTrace(c_all, s_all, t_all)
         free_order = (
             self.scheme is None
             and self._dip is None
@@ -671,6 +757,27 @@ class VectorCache:
             else:
                 self._chunk_strict(c, s, t, start, out)
             self._clock += stop - start
+        return out
+
+    def _replay_scalar(self, c_all, s_all, t_all, out) -> Optional[BatchResults]:
+        """Per-access replay of a batch (the ``track_sharers`` route)."""
+        cores_l = c_all.tolist()
+        sets_l = s_all.tolist()
+        tags_l = t_all.tolist()
+        clock = self._clock
+        scalar = self._scalar_access
+        for i in range(len(cores_l)):
+            clock += 1
+            hit, ecore, eaddr = scalar(
+                cores_l[i], sets_l[i], tags_l[i], clock, defer=False
+            )
+            if out is not None:
+                if hit:
+                    out.hit[i] = True
+                else:
+                    out.evicted_core[i] = ecore
+                    out.evicted_addr[i] = eaddr
+        self._clock = clock
         return out
 
     def _predict(self, s, t):

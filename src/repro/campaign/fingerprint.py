@@ -49,7 +49,9 @@ __all__ = ["FINGERPRINT_VERSION", "canonical_payload", "spec_fingerprint"]
 #: hierarchy (private L1, inclusion mode) and DRAM bank/row fields, and
 #: the DRAM service-occupancy timing fix changed results for otherwise
 #: identical specs — so every v1 digest had to be invalidated anyway.
-FINGERPRINT_VERSION = 2
+#: v3: the payload grew ``clusters`` (cluster-granular management changes
+#: results, so it must key the store).
+FINGERPRINT_VERSION = 3
 
 
 def _canonical_mix(mix) -> Union[str, list, dict]:
@@ -85,6 +87,7 @@ def canonical_payload(spec: RunSpec, config: MachineConfig) -> dict:
         "instructions": (
             spec.instructions if spec.instructions is not None else config.instructions
         ),
+        "clusters": getattr(spec, "clusters", None),
         "machine": {
             "num_cores": config.num_cores,
             "geometry": _geometry_payload(config.geometry),

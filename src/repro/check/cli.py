@@ -25,6 +25,7 @@ def cmd_check_fuzz(args) -> int:
                 f"(supported: {sorted(REFERENCE_SCHEMES)})"
             )
     backend = getattr(args, "backend", "classic")
+    sharing = getattr(args, "sharing", False)
     progress = None if args.quiet else (lambda msg: print(f"  {msg}", flush=True))
     start = time.time()
     results = fuzz(
@@ -33,6 +34,7 @@ def cmd_check_fuzz(args) -> int:
         schemes=schemes,
         progress=progress,
         backend=backend,
+        sharing=sharing,
     )
     elapsed = time.time() - start
 
@@ -43,10 +45,17 @@ def cmd_check_fuzz(args) -> int:
     for r in results:
         by_scheme[r.case.scheme] = by_scheme.get(r.case.scheme, 0) + 1
     coverage = ", ".join(f"{s}={n}" for s, n in sorted(by_scheme.items()))
+    shared_cases = sum(
+        1
+        for r in results
+        if r.case.track_sharers or r.case.sharing_degree or r.case.core_map
+    )
     print(
         f"{len(results)} cases ({coverage}), {accesses} accesses, "
         f"{intervals} interval boundaries compared in {elapsed:.1f}s "
-        f"[backend={backend}]"
+        f"[backend={backend}"
+        + (f", sharing axes on ({shared_cases} cases)" if sharing else "")
+        + "]"
     )
     if not bad:
         if backend == "vector":
@@ -61,7 +70,9 @@ def cmd_check_fuzz(args) -> int:
         print(
             f"  scheme={case.scheme} cores={case.num_cores} "
             f"sets={case.num_sets} assoc={case.assoc} seed={case.seed} "
-            f"accesses={case.accesses} kwargs={case.scheme_kwargs}"
+            f"accesses={case.accesses} kwargs={case.scheme_kwargs} "
+            f"sharing={case.sharing}/deg={case.sharing_degree} "
+            f"track={case.track_sharers} core_map={case.core_map}"
         )
         for divergence in result.divergences:
             print(f"    {divergence}")

@@ -88,7 +88,13 @@ class SyntheticPerf:
 
 @dataclass(frozen=True)
 class DifferentialCase:
-    """One fuzz case: scheme, geometry, stream shape and seeds."""
+    """One fuzz case: scheme, geometry, stream shape and seeds.
+
+    The shared-ownership axes (`sharing`/`sharing_degree`/`track_sharers`)
+    and the cluster axis (`core_map`) default to the historical behaviour
+    — a 30% global shared pool, no sharer masks, no clustering — so the
+    original case space is a strict subset of the new one.
+    """
 
     scheme: str
     num_cores: int = 4
@@ -97,6 +103,19 @@ class DifferentialCase:
     seed: int = 0
     accesses: int = 2000
     scheme_kwargs: Optional[dict] = None
+    #: Fraction of accesses aimed at a shared pool (cross-core reuse).
+    sharing: float = 0.3
+    #: Cores per sharing group; 0 = one global pool (the historical mix).
+    sharing_degree: int = 0
+    #: Maintain and compare per-block sharer bitmasks across simulators.
+    track_sharers: bool = False
+    #: Cluster map (real core -> accounting group); ``None`` = identity.
+    core_map: Optional[Tuple[int, ...]] = None
+
+    @property
+    def acct_cores(self) -> int:
+        """Accounting width: clusters when mapped, else cores."""
+        return max(self.core_map) + 1 if self.core_map else self.num_cores
 
     @property
     def geometry(self) -> CacheGeometry:
@@ -147,6 +166,11 @@ def make_stream(case: DifferentialCase) -> List[Tuple[int, int]]:
     and stable ownership), a shared pool (cross-core ownership churn, the
     food of the fallback paths) and cold random addresses (misses on full
     sets, so replacements and interval boundaries keep firing).
+
+    ``case.sharing`` sets the shared band's width; ``case.sharing_degree``
+    splits the single global pool into per-group pools of that many
+    adjacent cores (the shared-data family's access shape). The defaults
+    reproduce the historical stream byte for byte.
     """
     rng = make_rng(case.seed, "check-stream")
     num_blocks = case.num_sets * case.assoc
@@ -154,7 +178,13 @@ def make_stream(case: DifferentialCase) -> List[Tuple[int, int]]:
         [rng.getrandbits(20) for _ in range(max(1, num_blocks // case.num_cores))]
         for _ in range(case.num_cores)
     ]
-    shared_pool = [rng.getrandbits(20) for _ in range(max(1, num_blocks // 2))]
+    degree = case.sharing_degree
+    num_pools = 1 if degree <= 0 else (case.num_cores + degree - 1) // degree
+    shared_pools = [
+        [rng.getrandbits(20) for _ in range(max(1, num_blocks // 2))]
+        for _ in range(num_pools)
+    ]
+    shared_band = 0.45 + case.sharing
     stream = []
     for _ in range(case.accesses):
         core = rng.randrange(case.num_cores)
@@ -162,8 +192,9 @@ def make_stream(case: DifferentialCase) -> List[Tuple[int, int]]:
         if region < 0.45:
             pool = hot_pools[core]
             addr = pool[rng.randrange(len(pool))]
-        elif region < 0.75:
-            addr = shared_pool[rng.randrange(len(shared_pool))]
+        elif region < shared_band:
+            pool = shared_pools[core // degree if degree > 0 else 0]
+            addr = pool[rng.randrange(len(pool))]
         else:
             addr = rng.getrandbits(20)
         stream.append((core, addr))
@@ -247,6 +278,10 @@ def compare_run(
     ref_psel = getattr(reference.policy, "psel", None)
     if engine_psel is not None or ref_psel is not None:
         check("psel", engine_psel, ref_psel)
+    if cache.track_sharers:
+        check("sharers", cache.scan_sharers(), reference.scan_sharers())
+    if cache.core_map is not None:
+        check("charges", cache.scan_charges(), reference.scan_charges())
     return divergences
 
 
@@ -333,6 +368,13 @@ def _end_state(sim) -> dict:
     psel = getattr(sim.policy, "psel", None)
     if psel is not None:
         state["psel"] = psel
+    if getattr(sim, "track_sharers", False) and hasattr(sim, "scan_sharers"):
+        state["sharers"] = sim.scan_sharers()
+    # The vector engine never materialises fillers (translation happens
+    # before its state machine), so "charges" only appears — and is only
+    # compared — between simulators that can rescan them.
+    if getattr(sim, "core_map", None) is not None and hasattr(sim, "scan_charges"):
+        state["charges"] = sim.scan_charges()
     return state
 
 
@@ -409,9 +451,15 @@ def compare_batched(
 def _build_engine(case: DifferentialCase, standalone_ipcs, perf) -> SharedCache:
     kwargs = dict(case.scheme_kwargs or {})
     scheme, policy = build_scheme(
-        case.scheme, case.num_cores, standalone_ipcs, **kwargs
+        case.scheme, case.acct_cores, standalone_ipcs, **kwargs
     )
-    cache = SharedCache(case.geometry, case.num_cores, policy=policy)
+    cache = SharedCache(
+        case.geometry,
+        case.acct_cores,
+        policy=policy,
+        core_map=case.core_map,
+        track_sharers=case.track_sharers,
+    )
     if scheme is not None:
         scheme.perf = perf
         cache.set_scheme(scheme)
@@ -423,7 +471,7 @@ def _build_vector_engine(case: DifferentialCase, standalone_ipcs, perf):
 
     kwargs = dict(case.scheme_kwargs or {})
     scheme, policy = build_scheme(
-        case.scheme, case.num_cores, standalone_ipcs, **kwargs
+        case.scheme, case.acct_cores, standalone_ipcs, **kwargs
     )
     if scheme is not None:
         scheme.perf = perf
@@ -431,7 +479,13 @@ def _build_vector_engine(case: DifferentialCase, standalone_ipcs, perf):
     # (tiny chunks maximise boundary/carry-over coverage).
     chunk = None if case.seed % 3 == 0 else 2 + case.seed % 97
     return VectorCache(
-        case.geometry, case.num_cores, policy=policy, scheme=scheme, chunk=chunk
+        case.geometry,
+        case.acct_cores,
+        policy=policy,
+        scheme=scheme,
+        chunk=chunk,
+        core_map=case.core_map,
+        track_sharers=case.track_sharers,
     )
 
 
@@ -443,24 +497,28 @@ def run_case(case: DifferentialCase, backend: str = "classic") -> CaseResult:
     engine twice over: batched against the classic engine, then (on a
     fresh engine) batched against the reference.
     """
+    # Schemes, perf counters and stand-alone IPCs are all sized by the
+    # accounting width: under clustering PriSM manages clusters, not cores.
     perf = (
-        SyntheticPerf(case.num_cores, case.seed)
+        SyntheticPerf(case.acct_cores, case.seed)
         if case.scheme in _NEEDS_PERF
         else None
     )
     standalone_ipcs = None
     if case.scheme in _NEEDS_STANDALONE:
         rng = make_rng(case.seed, "check-standalone")
-        standalone_ipcs = [0.5 + rng.random() for _ in range(case.num_cores)]
+        standalone_ipcs = [0.5 + rng.random() for _ in range(case.acct_cores)]
 
     stream = make_stream(case)
     reference = build_reference(
         case.scheme,
-        case.num_cores,
+        case.acct_cores,
         case.geometry,
         standalone_ipcs=standalone_ipcs,
         scheme_kwargs=case.scheme_kwargs,
         perf=perf,
+        core_map=case.core_map,
+        track_sharers=case.track_sharers,
     )
     if backend == "vector":
         engine = _build_vector_engine(case, standalone_ipcs, perf)
@@ -484,8 +542,19 @@ def run_case(case: DifferentialCase, backend: str = "classic") -> CaseResult:
     )
 
 
-def random_case(rng, schemes: Optional[Sequence[str]] = None) -> DifferentialCase:
-    """Draw one random case from ``rng`` (a ``random.Random``)."""
+def random_case(
+    rng,
+    schemes: Optional[Sequence[str]] = None,
+    sharing: bool = False,
+) -> DifferentialCase:
+    """Draw one random case from ``rng`` (a ``random.Random``).
+
+    ``sharing=True`` additionally sweeps the shared-ownership and cluster
+    axes: scale-out core counts, grouped sharing pools of varying degree
+    and width, sharer-bitmask tracking, and random (canonicalised)
+    cluster maps. With the default ``sharing=False`` the draw sequence —
+    and therefore every historical case — is unchanged.
+    """
     schemes = tuple(schemes) if schemes else tuple(sorted(REFERENCE_SCHEMES))
     name = schemes[rng.randrange(len(schemes))]
     num_cores = rng.randrange(2, 7)
@@ -506,6 +575,24 @@ def random_case(rng, schemes: Optional[Sequence[str]] = None) -> DifferentialCas
         kwargs["seed"] = rng.getrandbits(16)
         if rng.random() < 0.3:
             kwargs["leader_sets"] = 2
+    extra = {}
+    if sharing:
+        if rng.random() < 0.3:
+            num_cores = (8, 16, 32)[rng.randrange(3)]
+        if rng.random() < 0.6:
+            extra["track_sharers"] = True
+        if rng.random() < 0.5:
+            extra["sharing_degree"] = (2, 3, 4)[rng.randrange(3)]
+            extra["sharing"] = (0.15, 0.3, 0.5)[rng.randrange(3)]
+        if rng.random() < 0.5:
+            # Random surjective cluster map: draw raw group labels, then
+            # relabel by first appearance so ids are dense in [0, K).
+            raw_k = rng.randrange(1, num_cores + 1)
+            raw = [rng.randrange(raw_k) for _ in range(num_cores)]
+            relabel: dict = {}
+            extra["core_map"] = tuple(
+                relabel.setdefault(g, len(relabel)) for g in raw
+            )
     return DifferentialCase(
         scheme=name,
         num_cores=num_cores,
@@ -514,6 +601,7 @@ def random_case(rng, schemes: Optional[Sequence[str]] = None) -> DifferentialCas
         seed=rng.getrandbits(32),
         accesses=rng.randrange(400, 2501),
         scheme_kwargs=kwargs or None,
+        **extra,
     )
 
 
@@ -523,6 +611,7 @@ def fuzz(
     schemes: Optional[Sequence[str]] = None,
     progress: Optional[Callable[[str], None]] = None,
     backend: str = "classic",
+    sharing: bool = False,
 ) -> List[CaseResult]:
     """Run ``cases`` random differential cases; return every result.
 
@@ -530,12 +619,14 @@ def fuzz(
     ``make_rng(seed, "check-fuzz")``), so a failing campaign reproduces
     exactly from its seed. ``backend`` selects the engine under test
     (see :func:`run_case`); the drawn cases are identical either way.
+    ``sharing`` enables the shared-ownership and cluster axes (see
+    :func:`random_case`).
     """
     rng = make_rng(seed, "check-fuzz")
     schemes = tuple(schemes) if schemes else tuple(sorted(REFERENCE_SCHEMES))
     results = []
     for index in range(cases):
-        case = random_case(rng, schemes=schemes)
+        case = random_case(rng, schemes=schemes, sharing=sharing)
         result = run_case(case, backend=backend)
         results.append(result)
         if progress is not None:

@@ -28,7 +28,18 @@ audits the whole cache:
     with a hierarchy bound via :meth:`InvariantChecker.bind_hierarchy`
     and the system running inclusive, every block resident in any
     private L1 is also resident in the shared LLC (the back-invalidate
-    path never leaks a stale L1 line).
+    path never leaks a stale L1 line);
+``sharer-consistency``
+    when the cache tracks sharer bitmasks (``track_sharers=True``),
+    every resident block has a non-empty sharer set and its accounting
+    owner is a member of it (a hit can widen the mask but never detach
+    the owner);
+``cluster-conservation``
+    when the cache runs under a cluster map (``core_map``), every
+    resident block's filler maps to the block's accounting owner, and
+    per cluster the charged occupancy ``C_c`` equals the number of
+    blocks filled by that cluster's member cores — occupancy is
+    conserved across the core→cluster translation.
 
 Violations raise :class:`InvariantViolation` — a subclass of
 ``AssertionError``, so plain ``assert``-style handling works, but typed
@@ -135,6 +146,11 @@ class InvariantChecker:
                 f"{total} blocks resident in a {num_blocks}-block cache",
             )
 
+        if getattr(cache, "track_sharers", False):
+            self._check_sharers()
+        if getattr(cache, "_core_map", None) is not None:
+            self._check_cluster_conservation()
+
         manager = getattr(cache.scheme, "manager", None)
         if manager is not None:
             self._check_distribution(manager, cache.num_cores)
@@ -167,6 +183,56 @@ class InvariantChecker:
                         f"core {core} holds block {addr:#x} in its L1 but the "
                         "block is not resident in the (inclusive) shared LLC",
                     )
+
+    def _check_sharers(self) -> None:
+        for cset in self.cache.sets:
+            for block in cset.blocks:
+                if block.sharers == 0:
+                    raise InvariantViolation(
+                        "sharer-consistency",
+                        f"resident block tag={block.tag:#x} in set "
+                        f"{cset.index} has an empty sharer set",
+                    )
+                if not (block.sharers >> block.core) & 1:
+                    raise InvariantViolation(
+                        "sharer-consistency",
+                        f"block tag={block.tag:#x} in set {cset.index}: "
+                        f"accounting owner {block.core} not in sharer mask "
+                        f"{block.sharers:#b}",
+                    )
+
+    def _check_cluster_conservation(self) -> None:
+        cache = self.cache
+        core_map = cache._core_map
+        real = cache.real_num_cores
+        per_core = [0] * real
+        for cset in cache.sets:
+            for block in cset.blocks:
+                filler = block.filler
+                if not 0 <= filler < real:
+                    raise InvariantViolation(
+                        "cluster-conservation",
+                        f"block tag={block.tag:#x} in set {cset.index} has "
+                        f"filler {filler}, outside [0, {real})",
+                    )
+                if core_map[filler] != block.core:
+                    raise InvariantViolation(
+                        "cluster-conservation",
+                        f"block tag={block.tag:#x} in set {cset.index}: "
+                        f"filler {filler} maps to cluster "
+                        f"{core_map[filler]} but is charged to {block.core}",
+                    )
+                per_core[filler] += 1
+        charged = [0] * cache.num_cores
+        for core, count in enumerate(per_core):
+            charged[core_map[core]] += count
+        occupancy = list(cache.occupancy)
+        if charged != occupancy:
+            raise InvariantViolation(
+                "cluster-conservation",
+                f"per-cluster fill recount {charged} != charged "
+                f"occupancy {occupancy}",
+            )
 
     def _check_distribution(self, manager, num_cores: int) -> None:
         probabilities = manager.probabilities

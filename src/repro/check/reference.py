@@ -60,13 +60,20 @@ __all__ = [
 
 
 class RefBlock:
-    """One resident cache block: a (tag, owner) pair, nothing else."""
+    """One resident cache block: a (tag, accounting owner) pair.
 
-    __slots__ = ("tag", "core")
+    ``sharers`` (bitmask of accounting owners that touched the block
+    since its fill) and ``filler`` (the real core that filled it, under a
+    cluster map) mirror the engine's ownership refactor literally.
+    """
+
+    __slots__ = ("tag", "core", "sharers", "filler")
 
     def __init__(self, tag: int, core: int) -> None:
         self.tag = tag
         self.core = core
+        self.sharers = 0
+        self.filler = -1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"RefBlock(tag={self.tag:#x}, core={self.core})"
@@ -687,11 +694,24 @@ class ReferenceCache:
         scheme: an optional :class:`RefPrism`.
     """
 
-    def __init__(self, geometry, num_cores: int, policy: RefLRU, scheme: Optional[RefPrism] = None) -> None:
+    def __init__(
+        self,
+        geometry,
+        num_cores: int,
+        policy: RefLRU,
+        scheme: Optional[RefPrism] = None,
+        core_map: Optional[Sequence[int]] = None,
+        track_sharers: bool = False,
+    ) -> None:
         self.num_sets = geometry.num_sets
         self.num_blocks = geometry.num_blocks
         self.assoc = geometry.assoc
         self.num_cores = num_cores
+        self.core_map = list(core_map) if core_map is not None else None
+        self.track_sharers = bool(track_sharers)
+        self.real_num_cores = (
+            len(self.core_map) if self.core_map is not None else num_cores
+        )
         self._set_mask = self.num_sets - 1
         self._tag_shift = self._set_mask.bit_length()
         self.policy = policy
@@ -730,9 +750,33 @@ class ReferenceCache:
                 counts[block.core] += 1
         return counts
 
+    def group_of(self, core: int) -> int:
+        """Accounting owner a real core's fills are charged to."""
+        return self.core_map[core] if self.core_map is not None else core
+
+    def scan_charges(self) -> List[int]:
+        """Per-real-core block charges, recounted from block fillers."""
+        counts = [0] * self.real_num_cores
+        for cset in self.sets:
+            for block in cset.blocks:
+                counts[block.filler] += 1
+        return counts
+
+    def scan_sharers(self) -> List[tuple]:
+        """Sorted ``(set, tag, owner, sharers)`` rows, engine-comparable."""
+        rows = []
+        for cset in self.sets:
+            for block in cset.blocks:
+                rows.append((cset.index, block.tag, block.core, block.sharers))
+        rows.sort()
+        return rows
+
     # -- the access path ---------------------------------------------------
 
     def access(self, core: int, block_addr: int) -> RefAccess:
+        real_core = core
+        if self.core_map is not None:
+            core = self.core_map[core]
         set_index = block_addr & self._set_mask
         tag = block_addr >> self._tag_shift
         cset = self.sets[set_index]
@@ -746,6 +790,8 @@ class ReferenceCache:
 
         if hit:
             self.hits[core] += 1
+            if self.track_sharers:
+                block.sharers |= 1 << core
             self.policy.on_hit(cset, block)
             return RefAccess(True, set_index, -1, -1)
 
@@ -764,8 +810,12 @@ class ReferenceCache:
             self.occupancy[evicted_core] -= 1
             self.evictions[evicted_core] += 1
             cset.evict(victim)
-        cset.insert(tag, core, self.policy.insert_at_lru(cset, core))
+        filled = cset.insert(tag, core, self.policy.insert_at_lru(cset, core))
         self.occupancy[core] += 1
+        if self.core_map is not None:
+            filled.filler = real_core
+        if self.track_sharers:
+            filled.sharers = 1 << core
 
         if self._interval_len:
             self._interval_left -= 1
@@ -861,6 +911,8 @@ def build_reference(
     standalone_ipcs: Optional[Sequence[float]] = None,
     scheme_kwargs: Optional[dict] = None,
     perf=None,
+    core_map: Optional[Sequence[int]] = None,
+    track_sharers: bool = False,
 ) -> ReferenceCache:
     """Build a :class:`ReferenceCache` for a scheme-registry name.
 
@@ -878,4 +930,13 @@ def build_reference(
             f"no reference model for scheme {name!r}; "
             f"supported: {sorted(REFERENCE_SCHEMES)}"
         ) from None
-    return builder(num_cores, geometry, standalone_ipcs, dict(scheme_kwargs or {}), perf)
+    reference = builder(
+        num_cores, geometry, standalone_ipcs, dict(scheme_kwargs or {}), perf
+    )
+    # Ownership knobs are pure access-time behaviour; installed after
+    # construction so every scheme builder stays a five-argument literal.
+    if core_map is not None:
+        reference.core_map = list(core_map)
+        reference.real_num_cores = len(reference.core_map)
+    reference.track_sharers = bool(track_sharers)
+    return reference

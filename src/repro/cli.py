@@ -121,6 +121,15 @@ def build_parser() -> argparse.ArgumentParser:
         "engine inconsistency aborts the run with InvariantViolation "
         "(docs/testing.md)",
     )
+    run_p.add_argument(
+        "--clusters",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shared-data workloads only (--mix shared:...): run PriSM at "
+        "cluster granularity, grouping cores into at most N clusters by "
+        "miss-curve similarity (docs/simulator.md)",
+    )
 
     cmp_p = sub.add_parser(
         "compare",
@@ -369,6 +378,13 @@ def build_parser() -> argparse.ArgumentParser:
         "against the reference; vector compares the numpy batch engine "
         "against BOTH the classic engine and the reference",
     )
+    fuzz_p.add_argument(
+        "--sharing",
+        action="store_true",
+        help="also sweep the shared-ownership and cluster axes: scale-out "
+        "core counts, grouped sharing pools, sharer bitmasks and random "
+        "cluster maps",
+    )
     fuzz_p.add_argument("--quiet", action="store_true")
     return parser
 
@@ -478,7 +494,10 @@ def cmd_run(args) -> int:
         telemetry = TelemetryRecorder(sink=open_sink(args.telemetry_out))
     options = _run_options(args, telemetry=telemetry)
     start = time.time()
-    result = run_workload(mix, config, args.scheme, options=options)
+    result = run_workload(
+        mix, config, args.scheme, options=options,
+        clusters=getattr(args, "clusters", None),
+    )
     print(f"machine {config} | scheme {args.scheme} | mix {args.mix}")
     _print_run(result)
     if args.telemetry_out:

@@ -1,0 +1,215 @@
+"""Cluster-granular PriSM: group cores by miss-curve similarity.
+
+PriSM's bookkeeping — eviction probabilities, allocation targets,
+occupancy counters, shadow tags — is all per accounting owner. Managing
+64 cores individually both multiplies that state and starves the
+allocator of signal: each core's interval miss count shrinks as the core
+count grows, so ``E_i`` gets noisier exactly when there are more of
+them. The scale-out regime keeps the machinery unchanged but runs it at
+*cluster* granularity: cores with similar stand-alone hit curves share
+one accounting owner, and the engine translates real core ids through a
+``core_map`` at the access boundary (see
+:class:`~repro.cache.cache.SharedCache`).
+
+The pipeline:
+
+1. :func:`profile_hit_curves` replays a short prefix of the workload
+   through a stand-alone :class:`~repro.cache.shadow.ShadowTagMonitor`
+   (no cache, no scheme) and returns each core's normalised hit-vs-ways
+   curve — the same utility curve UCP consumes, here used as the
+   similarity feature.
+2. :func:`cluster_cores` runs deterministic k-medoids over those curves
+   (L1 distance) and returns a dense ``core_map``.
+3. The caller builds the scheme and cache at the cluster width and
+   passes ``core_map`` down; everything else — quantization, bias
+   correction, fallback paths, invariants — runs unchanged per cluster.
+
+Determinism contract (property-tested in ``tests/clustering``): the
+clustering is **value-based** — medoid seeding and every tie-break
+compare curve values (lexicographically) before indices — so the induced
+partition of cores is invariant under permutation of core order, is a
+pure function of its inputs (no RNG), and degenerates to the identity
+map when ``k`` >= the core count.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.util.rng import derive_seed
+
+__all__ = [
+    "cluster_cores",
+    "derive_core_map",
+    "kmedoids",
+    "profile_hit_curves",
+]
+
+#: Default request budget of the profiling prefix.
+DEFAULT_PROFILE_REQUESTS = 100_000
+
+Curve = Tuple[float, ...]
+
+
+def _distance(a: Curve, b: Curve) -> float:
+    """L1 distance between two hit curves."""
+    return sum(abs(x - y) for x, y in zip(a, b))
+
+
+def kmedoids(
+    points: Sequence[Curve], k: int, max_iter: int = 64
+) -> Tuple[List[int], List[int]]:
+    """Deterministic k-medoids over ``points``; returns ``(medoids, assignment)``.
+
+    No RNG anywhere: the first medoid is the lexicographically smallest
+    point, the rest are farthest-point seeds (max min-distance, ties
+    broken by smaller point value then smaller index), assignment ties
+    prefer the earlier medoid, and medoid updates minimise
+    ``(total distance, point value, index)``. Because every tie-break
+    consults point *values* before indices, the partition the assignment
+    induces depends only on the multiset of points — permuting the input
+    permutes the assignment identically.
+
+    ``k >= len(points)`` degenerates to the identity (every point its
+    own medoid).
+    """
+    n = len(points)
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    points = [tuple(p) for p in points]
+    if k >= n:
+        return list(range(n)), list(range(n))
+
+    chosen = [min(range(n), key=lambda i: (points[i], i))]
+    while len(chosen) < k:
+        best_key = None
+        best_index = -1
+        for i in range(n):
+            if i in chosen:
+                continue
+            d = min(_distance(points[i], points[m]) for m in chosen)
+            key = (-d, points[i], i)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_index = i
+        chosen.append(best_index)
+
+    def assign(medoids: List[int]) -> List[int]:
+        out = []
+        for i in range(n):
+            out.append(
+                min(
+                    range(len(medoids)),
+                    key=lambda j: (_distance(points[i], points[medoids[j]]), j),
+                )
+            )
+        return out
+
+    medoids = chosen
+    assignment = assign(medoids)
+    for _ in range(max_iter):
+        updated = []
+        for j in range(k):
+            members = [i for i in range(n) if assignment[i] == j]
+            if not members:
+                updated.append(medoids[j])
+                continue
+            updated.append(
+                min(
+                    members,
+                    key=lambda i: (
+                        sum(_distance(points[i], points[m]) for m in members),
+                        points[i],
+                        i,
+                    ),
+                )
+            )
+        if updated == medoids:
+            break
+        medoids = updated
+        assignment = assign(medoids)
+    return medoids, assignment
+
+
+def cluster_cores(curves: Sequence[Curve], k: int) -> List[int]:
+    """Cluster cores by hit-curve similarity into a dense ``core_map``.
+
+    Returns one accounting-group id per core, relabelled by first
+    appearance in core order so ids are dense in ``[0, K)`` with
+    ``K <= k`` (empty clusters vanish).
+    """
+    _, assignment = kmedoids(curves, k)
+    relabel: dict = {}
+    return [relabel.setdefault(label, len(relabel)) for label in assignment]
+
+
+def profile_hit_curves(
+    source,
+    geometry,
+    seed: int,
+    requests: Optional[int] = None,
+    sample_shift: int = 2,
+) -> List[Curve]:
+    """Per-core normalised hit curves from a short shadow-only replay.
+
+    Replays a ``requests``-long prefix of ``source``'s shared trace
+    through a stand-alone shadow-tag monitor (no cache is built: the
+    monitor alone emulates each core's private-cache behaviour on
+    sampled sets). Core ``c``'s curve entry ``w`` is the fraction of its
+    sampled accesses that would hit with ``w + 1`` ways — normalising by
+    access count makes curves comparable between cores with different
+    request rates.
+    """
+    from repro.cache.encode import encode_accesses
+    from repro.cache.shadow import ShadowTagMonitor
+
+    monitor = ShadowTagMonitor(
+        source.num_cores, geometry.num_sets, geometry.assoc,
+        sample_shift=sample_shift,
+    )
+    observe = monitor.observe
+    total = requests or DEFAULT_PROFILE_REQUESTS
+    for cores, addrs in source.chunks(total, seed):
+        trace = encode_accesses(cores, addrs, geometry)
+        cores_l = trace.cores.tolist()
+        sets_l = trace.set_indices.tolist()
+        tags_l = trace.tags.tolist()
+        for i in range(len(cores_l)):
+            observe(cores_l[i], sets_l[i], tags_l[i], False)
+    curves = []
+    for core in range(source.num_cores):
+        accesses = monitor.sampled_accesses(core)
+        prefix = 0
+        curve = []
+        for hits in monitor.position_hits[core]:
+            prefix += hits
+            curve.append(prefix / accesses if accesses else 0.0)
+        curves.append(tuple(curve))
+    return curves
+
+
+def derive_core_map(
+    source,
+    geometry,
+    clusters: int,
+    seed: int,
+    profile_requests: Optional[int] = None,
+) -> List[int]:
+    """Profile ``source`` and cluster its cores into ``clusters`` groups.
+
+    The profiling prefix replays under its own derived seed (label
+    ``"cluster-profile"``), so the clustering decision never consumes
+    draws from — and is reproducible independently of — the measured
+    run's streams.
+    """
+    if clusters < 1:
+        raise ValueError(f"clusters must be >= 1, got {clusters}")
+    if clusters >= source.num_cores:
+        return list(range(source.num_cores))
+    curves = profile_hit_curves(
+        source,
+        geometry,
+        derive_seed(seed, "cluster-profile", source.label),
+        requests=profile_requests,
+    )
+    return cluster_cores(curves, clusters)

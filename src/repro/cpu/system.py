@@ -160,11 +160,15 @@ class MultiCoreSystem:
         telemetry=None,
         record_trace: bool = False,
     ) -> None:
-        if len(profiles) != cache.num_cores:
+        # Under a cluster map the cache's num_cores is the ACCOUNTING width
+        # (clusters); the machine still has one profile per real core.
+        real_cores = getattr(cache, "real_num_cores", cache.num_cores)
+        if len(profiles) != real_cores:
             raise ValueError(
-                f"cache has {cache.num_cores} cores but {len(profiles)} profiles given"
+                f"cache has {real_cores} cores but {len(profiles)} profiles given"
             )
         self.cache = cache
+        self.num_cores = real_cores
         self.profiles = list(profiles)
         self.memory = memory if memory is not None else MemoryModel()
         self.cores = [
@@ -178,20 +182,20 @@ class MultiCoreSystem:
         if l1_geometry is not None:
             from repro.cpu.l1 import L1Cache
 
-            self.l1s = [L1Cache(l1_geometry) for _ in range(cache.num_cores)]
+            self.l1s = [L1Cache(l1_geometry) for _ in range(real_cores)]
         else:
             self.l1s = None
         self.l1_hit_latency = l1_hit_latency
         self.inclusive = inclusive and self.l1s is not None
         if record_trace:
-            self.recorded_trace = RecordedTrace(num_cores=cache.num_cores)
-            self._pending_l1_gap = [0] * cache.num_cores
-            self._pending_l1_lat = [0.0] * cache.num_cores
+            self.recorded_trace = RecordedTrace(num_cores=real_cores)
+            self._pending_l1_gap = [0] * real_cores
+            self._pending_l1_lat = [0.0] * real_cores
         else:
             self.recorded_trace = None
-        self._snap_cycles = [0.0] * cache.num_cores
-        self._snap_instructions = [0] * cache.num_cores
-        self._snap_stall = [0.0] * cache.num_cores
+        self._snap_cycles = [0.0] * real_cores
+        self._snap_instructions = [0] * real_cores
+        self._snap_stall = [0.0] * real_cores
         self.total_accesses = 0
         cache.add_monitor(_IntervalListener(self))
         if cache.scheme is not None and hasattr(cache.scheme, "perf"):
@@ -257,7 +261,7 @@ class MultiCoreSystem:
         trace = self.recorded_trace
         run_start = perf_counter()
         start_accesses = self.total_accesses
-        occupancy_at_finish = [0.0] * cache.num_cores
+        occupancy_at_finish = [0.0] * self.num_cores
         unfinished = sum(1 for c in self.cores if not c.finished)
         heap = [(core.cycles, core.core_id) for core in self.cores if not core.finished]
         heapq.heapify(heap)
@@ -275,7 +279,8 @@ class MultiCoreSystem:
                 if not core.finished and core.instructions >= instructions_per_core:
                     core.mark_finished()
                     occupancy_at_finish[cid] = (
-                        cache.occupancy[cid] / cache.geometry.num_blocks
+                        cache.occupancy[cache.group_of(cid)]
+                        / cache.geometry.num_blocks
                     )
                     if recorder is not None:
                         recorder.record_finish(
@@ -309,7 +314,8 @@ class MultiCoreSystem:
             if not core.finished and core.instructions >= instructions_per_core:
                 core.mark_finished()
                 occupancy_at_finish[cid] = (
-                    cache.occupancy[cid] / cache.geometry.num_blocks
+                    cache.occupancy[cache.group_of(cid)]
+                    / cache.geometry.num_blocks
                 )
                 if recorder is not None:
                     recorder.record_finish(
@@ -347,8 +353,10 @@ class MultiCoreSystem:
                     llc_stall_cpi=stall_cpi,
                     instructions=instructions,
                     cycles=cycles,
-                    hits=self.cache.stats.hits[i],
-                    misses=self.cache.stats.misses[i],
+                    # Counters are accounting-indexed: under a cluster map
+                    # a core reports its cluster's totals.
+                    hits=self.cache.stats.hits[self.cache.group_of(i)],
+                    misses=self.cache.stats.misses[self.cache.group_of(i)],
                     occupancy_at_finish=occupancy_at_finish[i],
                 )
             )

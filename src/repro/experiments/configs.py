@@ -18,17 +18,22 @@ from repro.util.validate import check_power_of_two
 __all__ = ["MachineConfig", "machine", "PAPER_LLC", "DEFAULT_L1_BYTES"]
 
 #: Paper Table 2: core count -> (LLC bytes, associativity, controllers).
+#: The 64-core row extrapolates the table one step (the paper stops at
+#: 32) for the cluster-granular scale-out experiments: capacity and
+#: controllers double, associativity stays at the 64-way ceiling.
 PAPER_LLC = {
     4: (4 << 20, 16, 1),
     8: (4 << 20, 16, 2),
     16: (8 << 20, 32, 4),
     32: (16 << 20, 64, 8),
+    64: (32 << 20, 64, 16),
 }
 
 #: Default per-core instruction targets at the default scale (the paper's
 #: 500M for 4/8 cores and 200M for 16/32 cores, scaled to minutes of
 #: Python time).
-DEFAULT_INSTRUCTIONS = {4: 2_000_000, 8: 1_500_000, 16: 1_000_000, 32: 600_000}
+DEFAULT_INSTRUCTIONS = {4: 2_000_000, 8: 1_500_000, 16: 1_000_000, 32: 600_000,
+                        64: 400_000}
 
 #: Unscaled private-L1 capacity when a hierarchy is requested (64 KB,
 #: the common per-core L1D size; divided by the same ``scale_factor`` as
@@ -96,7 +101,8 @@ def machine(
     """Build the Table-2 machine for ``num_cores``, scaled down.
 
     Args:
-        num_cores: 4, 8, 16 or 32 (the paper's configurations).
+        num_cores: 4, 8, 16, 32 (the paper's configurations) or 64
+            (extrapolated one step past Table 2 for the scale-out runs).
         scale_factor: power-of-two capacity divisor (64 -> 64 KB-256 KB LLCs).
         instructions: per-core instruction target override.
         assoc: associativity override (Fig. 1(b)'s 64/256-way sweeps,

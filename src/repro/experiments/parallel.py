@@ -90,9 +90,17 @@ class RunSpec:
     #: so this is a speed knob only — campaign fingerprints exclude it
     #: and a stored result satisfies a spec under either backend.
     backend: str = "classic"
+    #: Cluster-granular management (shared-data workloads only): cap the
+    #: number of accounting clusters (see :mod:`repro.clustering`).
+    #: ``None`` = per-core management. Part of the campaign fingerprint —
+    #: clustering changes results.
+    clusters: Optional[int] = None
 
     def describe(self) -> str:
-        return f"{self.mix} / {self.scheme} / seed {self.seed}"
+        text = f"{self.mix} / {self.scheme} / seed {self.seed}"
+        if self.clusters is not None:
+            text += f" / {self.clusters} clusters"
+        return text
 
 
 class SpecRunError(RuntimeError):
@@ -167,6 +175,7 @@ def _run_indexed_spec(item):
             scheme_kwargs=spec.scheme_kwargs,
             telemetry=spec.telemetry,
             backend=spec.backend,
+            clusters=spec.clusters,
         )
     except Exception as exc:
         return index, None, (type(exc).__name__, str(exc), traceback.format_exc()), 0.0
@@ -234,6 +243,7 @@ def _execute_specs(
                     scheme_kwargs=spec.scheme_kwargs,
                     telemetry=spec.telemetry,
                     backend=spec.backend,
+                    clusters=spec.clusters,
                 )
             except Exception as exc:
                 raise SpecRunError(

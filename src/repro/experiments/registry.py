@@ -32,6 +32,7 @@ from repro.experiments import (
     multi_tenant,
     sec56_dip,
 )
+from repro.clustering import scaleout
 
 __all__ = ["Experiment", "EXPERIMENTS", "get_experiment"]
 
@@ -81,6 +82,8 @@ EXPERIMENTS: Dict[str, Experiment] = {
                    multi_tenant.run, multi_tenant.format_result),
         Experiment("headroom", "Miss gap to the offline Belady/MIN optimum",
                    fig_headroom.run, fig_headroom.format_result),
+        Experiment("scaleout", "Many-core scale-out: cluster-granular PriSM",
+                   scaleout.run, scaleout.format_result),
     ]
 }
 

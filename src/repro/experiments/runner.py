@@ -317,6 +317,7 @@ def run_workload(
     options=None,
     check: bool = False,
     backend: str = "classic",
+    clusters: Optional[int] = None,
 ) -> WorkloadResult:
     """Run one mix under one scheme and report the paper's metrics.
 
@@ -348,6 +349,9 @@ def run_workload(
             certified bit-exact either way (``repro-sim check fuzz
             --backend vector``). Configurations the vector engine cannot
             represent fall back to classic with a ``RuntimeWarning``.
+        clusters: cluster-granular management for shared-data workloads
+            (see :mod:`repro.clustering`); raises for workload kinds
+            that do not support it.
     """
     if options is not None:
         if seed == 0:
@@ -363,6 +367,29 @@ def run_workload(
         if backend == "classic":
             backend = getattr(options, "backend", "classic")
     source = resolve_workload(mix)
+    if source.kind == "shared":
+        # Shared-data scale-out workloads replay through the clustering
+        # driver (the only path that understands ``clusters``).
+        from repro.clustering.scaleout import run_shared_workload
+
+        return run_shared_workload(
+            source,
+            config,
+            scheme,
+            seed=seed,
+            instructions=instructions,
+            scheme_kwargs=scheme_kwargs,
+            telemetry=telemetry,
+            standalone_cache=standalone_cache,
+            check=check,
+            backend=backend,
+            clusters=clusters,
+        )
+    if clusters is not None:
+        raise ValueError(
+            f"clusters= applies to 'shared' workloads only; "
+            f"{source.label!r} is kind {source.kind!r}"
+        )
     if source.kind == "tenants":
         # Trace-based tenant workloads replay through the tenancy driver
         # (no timing model); imported lazily to keep the package acyclic.

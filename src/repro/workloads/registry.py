@@ -179,6 +179,8 @@ def _ensure_builtin_families() -> None:
     # imports this module for WorkloadSource/register_family).
     if "tenants" not in WORKLOAD_FAMILIES:
         import repro.workloads.tenants  # noqa: F401  (registers itself)
+    if "shared" not in WORKLOAD_FAMILIES:
+        import repro.workloads.shared  # noqa: F401  (registers itself)
 
 
 def resolve_workload(ref: Union[str, Sequence, WorkloadSource]) -> WorkloadSource:

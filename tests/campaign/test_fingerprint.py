@@ -19,19 +19,19 @@ from repro.workloads.tenants import TenantSpec, TenantWorkload, get_tenant_workl
 CONFIG = machine(4, instructions=3_000)
 
 #: The reference digest for (Q1, prism-h, seed 3, kwargs, the machine
-#: above) under FINGERPRINT_VERSION 2 (v1 digests were invalidated when
-#: the DRAM service-occupancy fix changed results and the machine payload
-#: grew the hierarchy fields). Pinned: a silent change here would orphan
-#: every existing store.
+#: above) under FINGERPRINT_VERSION 3 (v2 digests were invalidated when
+#: the payload grew the ``clusters`` field for cluster-granular
+#: management). Pinned: a silent change here would orphan every existing
+#: store.
 REFERENCE_SPEC = RunSpec(
     mix="Q1", scheme="prism-h", seed=3, scheme_kwargs={"probability_bits": 6}
 )
-REFERENCE_DIGEST = "0cca0b24c8d607e90e9698895b536d7edc7adbf776bca61f48e2ba60ca956225"
+REFERENCE_DIGEST = "16ef8ea4e80dcbd9f652d87f9c2b1af226beef3c86b17de3c322fdbac5322e56"
 
 
 class TestStability:
     def test_reference_digest_is_pinned(self):
-        assert FINGERPRINT_VERSION == 2
+        assert FINGERPRINT_VERSION == 3
         assert spec_fingerprint(REFERENCE_SPEC, CONFIG) == REFERENCE_DIGEST
 
     def test_deterministic_across_calls(self):
@@ -94,7 +94,7 @@ class TestWorkloadSourceIdentity:
 
     TENANT_SPEC = RunSpec(mix="tenants:smoke4", scheme="prism-h", seed=3)
     TENANT_DIGEST = (
-        "97d3a7ba0ee35cef21b6990b81937e837d95b9fbad53ae374847c39e2abe6d4e"
+        "76262ebfdbf4a7ecb5a9c7d44a17da8a66b15d2f0a27ad74650d71c884612b83"
     )
 
     def test_tenant_digest_is_pinned(self):
@@ -175,3 +175,13 @@ class TestSensitivity:
     def test_machine_dram_banks(self):
         other = machine(4, instructions=3_000, dram_banks=4, dram_row_blocks=8)
         assert spec_fingerprint(self.BASE, other) != self._base()
+
+    def test_clusters(self):
+        """Cluster-granular management changes results -> must key the store."""
+        spec = RunSpec(mix="Q1", scheme="lru", clusters=2)
+        assert spec_fingerprint(spec, CONFIG) != self._base()
+        assert canonical_payload(spec, CONFIG)["clusters"] == 2
+
+    def test_clusters_none_is_the_per_core_default(self):
+        explicit = RunSpec(mix="Q1", scheme="lru", clusters=None)
+        assert spec_fingerprint(explicit, CONFIG) == self._base()

@@ -112,6 +112,68 @@ def test_sane_case_is_clean_before_sabotage():
     _assert_ok(run_case(case))
 
 
+class TestSharingAxes:
+    """The shared-ownership fuzz axes: sharer bitmasks and cluster maps."""
+
+    def test_sharing_fuzz_finds_no_divergence(self):
+        results = fuzz(cases=12, seed=7, sharing=True)
+        for result in results:
+            _assert_ok(result)
+
+    def test_sharing_axes_are_actually_drawn(self):
+        cases = [r.case for r in fuzz(cases=12, seed=7, sharing=True)]
+        assert any(c.track_sharers for c in cases)
+        assert any(c.core_map is not None for c in cases)
+        assert any(c.sharing_degree > 0 for c in cases)
+
+    def test_sharing_off_leaves_the_matrix_unchanged(self):
+        """Default fuzz draws must stay byte-compatible with the past."""
+        plain = [r.case for r in fuzz(cases=4, seed=11)]
+        assert all(
+            not c.track_sharers and c.core_map is None and c.sharing_degree == 0
+            for c in plain
+        )
+
+    def test_core_maps_are_dense(self):
+        for result in fuzz(cases=12, seed=7, sharing=True):
+            core_map = result.case.core_map
+            if core_map is None:
+                continue
+            assert len(core_map) == result.case.num_cores
+            assert sorted(set(core_map)) == list(range(max(core_map) + 1))
+
+    def test_fuzzer_detects_seeded_sharer_bug(self):
+        """A sharer-accounting bug in the engine must be caught.
+
+        Sabotage: flip the ``track_sharers`` slot baked into the classic
+        engine's hot-path tuple, so fills stop seeding and hits stop
+        OR-ing sharer bits — while ``cache.track_sharers`` (the compare
+        gate) stays on. The oracle keeps proper sharer sets, so the
+        end-state sharers audit must report the divergence.
+        """
+        case = DifferentialCase(
+            scheme="lru", num_cores=4, seed=7, accesses=1500,
+            sharing_degree=2, track_sharers=True,
+        )
+        cache = _build_engine(case, None, None)
+        reference = build_reference(
+            case.scheme, case.num_cores, case.geometry,
+            track_sharers=True,
+        )
+        assert cache._hot[-1] is True  # the track_sharers slot
+        cache._hot = cache._hot[:-1] + (False,)
+        divergences = compare_run(cache, reference, make_stream(case))
+        assert divergences, "oracle failed to notice dropped sharer accounting"
+        assert any(d.what == "sharers" for d in divergences)
+
+    def test_sharer_case_is_clean_before_sabotage(self):
+        case = DifferentialCase(
+            scheme="lru", num_cores=4, seed=7, accesses=1500,
+            sharing_degree=2, track_sharers=True,
+        )
+        _assert_ok(run_case(case))
+
+
 class TestVectorBackend:
     """``backend="vector"``: the batched engine under the same oracle.
 

@@ -110,6 +110,78 @@ class TestChecker:
         assert "occupancy-bounds" in str(error) and "129" in str(error)
 
 
+def shared_checked_cache(every=1):
+    """4 real cores mapped onto 2 clusters, with sharer tracking on."""
+    core_map = (0, 1, 0, 1)
+    scheme, policy = build_scheme("prism-h", 2, None,
+                                  interval_len=64, sample_shift=1, seed=2)
+    cache = SharedCache(GEOMETRY, 2, policy=policy,
+                        core_map=core_map, track_sharers=True)
+    cache.set_scheme(scheme)
+    checker = attach_checker(cache, every=every)
+    return cache, checker
+
+
+def first_block(cache):
+    for cset in cache.sets:
+        for block in cset.blocks:
+            return block
+    raise AssertionError("cache is empty")
+
+
+class TestSharingInvariants:
+    """sharer-consistency and cluster-conservation sabotage coverage."""
+
+    def test_clean_clustered_run_passes(self):
+        cache, checker = shared_checked_cache(every=1)
+        drive(cache, accesses=600)  # real core ids 0..3, translated inside
+        assert checker.checks_run == 600
+        checker.check_now()
+
+    def test_catches_empty_sharer_set(self):
+        cache, checker = shared_checked_cache()
+        drive(cache, accesses=200)
+        first_block(cache).sharers = 0
+        with pytest.raises(InvariantViolation) as excinfo:
+            checker.check_now()
+        assert excinfo.value.invariant == "sharer-consistency"
+
+    def test_catches_owner_missing_from_sharer_mask(self):
+        cache, checker = shared_checked_cache()
+        drive(cache, accesses=200)
+        block = first_block(cache)
+        block.sharers = 1 << (1 - block.core)  # some bit, not the owner's
+        with pytest.raises(InvariantViolation) as excinfo:
+            checker.check_now()
+        assert excinfo.value.invariant == "sharer-consistency"
+
+    def test_catches_out_of_range_filler(self):
+        cache, checker = shared_checked_cache()
+        drive(cache, accesses=200)
+        first_block(cache).filler = 9  # only real cores 0..3 exist
+        with pytest.raises(InvariantViolation) as excinfo:
+            checker.check_now()
+        assert excinfo.value.invariant == "cluster-conservation"
+
+    def test_catches_filler_charged_to_wrong_cluster(self):
+        cache, checker = shared_checked_cache()
+        drive(cache, accesses=200)
+        block = first_block(cache)
+        # Cores 0/2 map to cluster 0, cores 1/3 to cluster 1: claim a
+        # filler whose cluster disagrees with the block's charge.
+        block.filler = 1 if block.core == 0 else 0
+        with pytest.raises(InvariantViolation) as excinfo:
+            checker.check_now()
+        assert excinfo.value.invariant == "cluster-conservation"
+
+    def test_plain_cache_skips_the_sharing_audits(self):
+        """No sharer tracking, no cluster map -> the new checks are off."""
+        cache, checker = checked_cache()
+        drive(cache, accesses=200)
+        first_block(cache).sharers = 0  # untracked garbage must not trip
+        checker.check_now()
+
+
 class TestInclusionInvariant:
     """The hierarchy audit: every L1-resident block is LLC-resident."""
 

@@ -1,0 +1,105 @@
+"""Property tests for the deterministic clustering pipeline.
+
+The determinism contract (see :mod:`repro.clustering`): k-medoids is a
+pure function of the multiset of curves — value-based tie-breaks make
+the induced *partition* invariant under permutation of core order — and
+``k >= n`` degenerates to the identity map. These are exactly the
+properties the scale-out driver leans on when it reuses a ``core_map``
+as part of a run's fingerprint.
+"""
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.clustering import cluster_cores, derive_core_map, kmedoids
+from repro.experiments.configs import machine
+from repro.workloads.shared import get_shared_workload
+
+# Small discrete value pools keep duplicate curves likely, which is where
+# index-based tie-breaking would betray a non-deterministic ordering.
+curve_strategy = st.lists(
+    st.sampled_from([0.0, 0.25, 0.5, 0.75, 1.0]), min_size=4, max_size=4
+).map(tuple)
+
+curves_strategy = st.lists(curve_strategy, min_size=1, max_size=10)
+
+
+def partition_of(assignment):
+    """The induced partition as a canonical frozenset of frozensets."""
+    groups = {}
+    for index, label in enumerate(assignment):
+        groups.setdefault(label, set()).add(index)
+    return frozenset(frozenset(g) for g in groups.values())
+
+
+class TestKMedoidsProperties:
+    @given(curves=curves_strategy, k=st.integers(1, 10))
+    def test_deterministic(self, curves, k):
+        """Same inputs, same outputs — there is no RNG to vary."""
+        assert kmedoids(curves, k) == kmedoids(curves, k)
+        assert cluster_cores(curves, k) == cluster_cores(curves, k)
+
+    @given(curves=curves_strategy, k=st.integers(1, 10), data=st.data())
+    def test_partition_invariant_under_core_permutation(self, curves, k, data):
+        """Permuting core order permutes labels but not the partition."""
+        perm = data.draw(st.permutations(range(len(curves))))
+        base = cluster_cores(curves, k)
+        permuted = cluster_cores([curves[p] for p in perm], k)
+        # Map the permuted assignment back to original core indices.
+        unpermuted = [0] * len(curves)
+        for position, core in enumerate(perm):
+            unpermuted[core] = permuted[position]
+        assert partition_of(base) == partition_of(unpermuted)
+
+    @given(curves=curves_strategy, data=st.data())
+    def test_identity_when_k_reaches_core_count(self, curves, data):
+        """``k >= n`` gives every core its own cluster."""
+        n = len(curves)
+        k = data.draw(st.integers(n, n + 4))
+        medoids, assignment = kmedoids(curves, k)
+        assert medoids == list(range(n))
+        assert assignment == list(range(n))
+        assert cluster_cores(curves, k) == list(range(n))
+
+    @given(curves=curves_strategy, k=st.integers(1, 10))
+    def test_core_map_is_dense_and_bounded(self, curves, k):
+        """Labels are dense in [0, K), first-appearance ordered, K <= k."""
+        core_map = cluster_cores(curves, k)
+        assert len(core_map) == len(curves)
+        seen = []
+        for label in core_map:
+            if label not in seen:
+                seen.append(label)
+        assert seen == list(range(len(seen)))
+        assert len(seen) <= min(k, len(curves))
+
+    @given(curves=curves_strategy, k=st.integers(1, 10))
+    def test_equal_curves_share_a_cluster(self, curves, k):
+        """Identical curves can never be split across clusters.
+
+        Only meaningful below the ``k >= n`` degeneracy: the identity
+        map gives every core (duplicate or not) its own cluster.
+        """
+        assume(k < len(curves))
+        core_map = cluster_cores(curves, k)
+        labels = {}
+        for curve, label in zip(curves, core_map):
+            labels.setdefault(curve, set()).add(label)
+        assert all(len(s) == 1 for s in labels.values())
+
+
+class TestDeriveCoreMap:
+    @settings(deadline=None)
+    @given(seed=st.integers(0, 3))
+    def test_profiled_map_is_reproducible(self, seed):
+        source = get_shared_workload("smoke4")
+        geometry = machine(4).geometry
+        a = derive_core_map(source, geometry, 2, seed, profile_requests=4000)
+        b = derive_core_map(source, geometry, 2, seed, profile_requests=4000)
+        assert a == b
+        assert len(a) == 4 and max(a) + 1 <= 2
+
+    def test_k_at_least_n_skips_profiling(self):
+        source = get_shared_workload("smoke4")
+        geometry = machine(4).geometry
+        assert derive_core_map(source, geometry, 4, 0) == [0, 1, 2, 3]
+        assert derive_core_map(source, geometry, 9, 0) == [0, 1, 2, 3]

@@ -10,12 +10,15 @@ class TestTable2:
         assert PAPER_LLC[4] == (4 << 20, 16, 1)
         assert PAPER_LLC[16] == (8 << 20, 32, 4)
         assert PAPER_LLC[32] == (16 << 20, 64, 8)
+        # Extrapolated one step past Table 2 for the scale-out runs.
+        assert PAPER_LLC[64] == (32 << 20, 64, 16)
 
     @pytest.mark.parametrize("cores,size_kb,assoc,mc", [
         (4, 64, 16, 1),
         (8, 64, 16, 2),
         (16, 128, 32, 4),
         (32, 256, 64, 8),
+        (64, 512, 64, 16),
     ])
     def test_scaled_defaults(self, cores, size_kb, assoc, mc):
         config = machine(cores)

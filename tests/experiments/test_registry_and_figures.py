@@ -27,17 +27,20 @@ MICRO = {
                 "schemes": ["lru", "cliff", "prism-h"]},
     "headroom": {"instructions": 25_000, "mixes": ["Q7"],
                  "schemes": ["lru", "prism-h"]},
+    "scaleout": {"instructions": 30_000, "workloads": ["smoke4"],
+                 "schemes": ["lru", "prism-h"], "clusters": 2},
 }
 
 
 class TestRegistry:
-    def test_all_sixteen_experiments_registered(self):
-        assert len(EXPERIMENTS) == 16
+    def test_all_seventeen_experiments_registered(self):
+        assert len(EXPERIMENTS) == 17
         for fig in range(1, 14):
             assert f"fig{fig}" in EXPERIMENTS
         assert "sec56" in EXPERIMENTS
         assert "tenants" in EXPERIMENTS
         assert "headroom" in EXPERIMENTS
+        assert "scaleout" in EXPERIMENTS
 
     def test_lookup(self):
         assert get_experiment("fig7").title.startswith("PriSM vs Vantage")

@@ -1,0 +1,157 @@
+"""The shared-data scale-out family: spec validation, traces, identity."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.workloads.registry import resolve_workload
+from repro.workloads.shared import (
+    SHARED_FAMILY_VERSION,
+    SharedSpec,
+    SharedWorkload,
+    get_shared_workload,
+    shared_presets,
+)
+from repro.workloads.tenants import DEFAULT_CHUNK, TENANT_ADDRESS_STRIDE
+
+
+def concat(workload, requests, seed, chunk_size=DEFAULT_CHUNK):
+    cores, addrs = [], []
+    for c, a in workload.chunks(requests, seed, chunk_size=chunk_size):
+        cores.append(c)
+        addrs.append(a)
+    return np.concatenate(cores), np.concatenate(addrs)
+
+
+def solo_concat(workload, index, requests, seed, chunk_size=DEFAULT_CHUNK):
+    cores, addrs = [], []
+    for c, a in workload.core_chunks(index, requests, seed, chunk_size=chunk_size):
+        cores.append(c)
+        addrs.append(a)
+    return np.concatenate(cores), np.concatenate(addrs)
+
+
+class TestSpecValidation:
+    def test_bad_core_count(self):
+        with pytest.raises(ValueError, match="num_cores"):
+            SharedSpec("w", num_cores=0)
+
+    def test_bad_degree(self):
+        with pytest.raises(ValueError, match="degree"):
+            SharedSpec("w", num_cores=4, degree=5)
+        with pytest.raises(ValueError, match="degree"):
+            SharedSpec("w", num_cores=4, degree=0)
+
+    def test_bad_sharing(self):
+        with pytest.raises(ValueError, match="sharing"):
+            SharedSpec("w", num_cores=4, sharing=1.5)
+
+    def test_bad_keys(self):
+        with pytest.raises(ValueError, match="keys"):
+            SharedSpec("w", num_cores=4, keys=0)
+
+    def test_bad_skew(self):
+        with pytest.raises(ValueError, match="skew"):
+            SharedSpec("w", num_cores=4, skew=-0.1)
+
+    def test_group_count(self):
+        assert SharedSpec("w", num_cores=16, degree=4).num_groups == 4
+        assert SharedSpec("w", num_cores=5, degree=2).num_groups == 3
+
+
+class TestTraceGeneration:
+    WORKLOAD = get_shared_workload("smoke4")
+
+    def test_total_length_and_chunk_bounds(self):
+        chunks = list(self.WORKLOAD.chunks(5_000, seed=1, chunk_size=2_000))
+        assert [len(a) for _, a in chunks] == [2_000, 2_000, 1_000]
+
+    def test_deterministic_in_seed(self):
+        a = concat(self.WORKLOAD, 4_000, seed=1)
+        b = concat(self.WORKLOAD, 4_000, seed=1)
+        c = concat(self.WORKLOAD, 4_000, seed=2)
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+        assert not np.array_equal(a[1], c[1])
+
+    def test_chunk_size_invariance(self):
+        """The concatenated trace must not depend on the chunk size."""
+        a = concat(self.WORKLOAD, 5_000, seed=3, chunk_size=257)
+        b = concat(self.WORKLOAD, 5_000, seed=3, chunk_size=4_096)
+        assert np.array_equal(a[0], b[0])
+        assert np.array_equal(a[1], b[1])
+
+    def test_addresses_stay_in_core_and_group_regions(self):
+        """Private regions are per core; shared regions per group, above."""
+        spec = self.WORKLOAD.spec
+        cores, addrs = concat(self.WORKLOAD, 8_000, seed=1)
+        regions = addrs // TENANT_ADDRESS_STRIDE
+        private = regions < spec.num_cores
+        assert np.array_equal(regions[private], cores[private])
+        shared_regions = regions[~private] - spec.num_cores
+        assert np.array_equal(shared_regions, cores[~private] // spec.degree)
+        assert (~private).any(), "no shared accesses drawn at sharing=0.3"
+
+    def test_shared_blocks_are_shared(self):
+        """Both members of a group must touch common shared addresses."""
+        spec = self.WORKLOAD.spec
+        cores, addrs = concat(self.WORKLOAD, 20_000, seed=1)
+        shared = (addrs // TENANT_ADDRESS_STRIDE) >= spec.num_cores
+        group0 = set(addrs[shared & (cores == 0)]) & set(addrs[shared & (cores == 1)])
+        assert group0, "group members never touched a common shared block"
+
+    def test_solo_stream_is_prefix_equal_to_shared_draws(self):
+        """A core's solo draw sequence replays its shared-run draws."""
+        spec = self.WORKLOAD.spec
+        cores, addrs = concat(self.WORKLOAD, 12_000, seed=5)
+        mine = addrs[cores == 2]
+        _, solo = solo_concat(self.WORKLOAD, 2, len(mine), seed=5)
+        # Same draws, different address spaces: map both to (is_shared, rank).
+        regions = mine // TENANT_ADDRESS_STRIDE
+        shared_keys = np.where(
+            regions >= spec.num_cores,
+            spec.keys + mine % TENANT_ADDRESS_STRIDE,
+            mine % TENANT_ADDRESS_STRIDE,
+        )
+        assert np.array_equal(shared_keys, solo)
+
+    def test_solo_requests_equal_shares(self):
+        assert self.WORKLOAD.solo_requests(0, 20_000) == 5_000
+        assert self.WORKLOAD.solo_requests(3, 2) == 1
+
+    def test_group_of(self):
+        assert [self.WORKLOAD.group_of(c) for c in range(4)] == [0, 0, 1, 1]
+
+
+class TestPresetsAndIdentity:
+    def test_presets_registered(self):
+        assert shared_presets() == ["scale16", "scale32", "scale64", "smoke4"]
+        for name in shared_presets():
+            workload = get_shared_workload(name)
+            assert workload.label == f"shared:{name}"
+            assert len(workload.core_names) == workload.num_cores
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError, match="unknown shared workload"):
+            get_shared_workload("nope")
+
+    def test_scale_presets_have_scaleout_core_counts(self):
+        assert get_shared_workload("scale16").num_cores == 16
+        assert get_shared_workload("scale32").num_cores == 32
+        assert get_shared_workload("scale64").num_cores == 64
+
+    def test_registry_resolves_references(self):
+        via_registry = resolve_workload("shared:smoke4")
+        assert isinstance(via_registry, SharedWorkload)
+        assert via_registry.identity() == get_shared_workload("smoke4").identity()
+
+    def test_identity_is_stable_and_json_able(self):
+        identity = get_shared_workload("scale16").identity()
+        assert identity["kind"] == "shared"
+        assert identity["version"] == SHARED_FAMILY_VERSION
+        json.dumps(identity)  # must be hashable into a fingerprint
+
+    def test_identity_captures_parameters(self):
+        base = SharedWorkload(SharedSpec("w", num_cores=8))
+        tweaked = SharedWorkload(SharedSpec("w", num_cores=8, sharing=0.4))
+        assert base.identity() != tweaked.identity()
